@@ -1,0 +1,42 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one table or figure of the paper and prints the
+same rows/series the paper reports.  Simulated durations are scaled down
+from the paper's minutes-long runs to keep the suite fast; set
+``REPRO_BENCH_SCALE`` (a float, default 1.0) to lengthen every window for
+higher-fidelity numbers.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.units import MS, SEC
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(ns: int) -> int:
+    return int(ns * SCALE)
+
+
+@pytest.fixture
+def warmup_ns() -> int:
+    return scaled(150 * MS)
+
+
+@pytest.fixture
+def measure_ns() -> int:
+    return scaled(400 * MS)
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    Simulation results are deterministic, so repeating rounds only wastes
+    wall-clock; the interesting output is the printed table, the timing is
+    incidental.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

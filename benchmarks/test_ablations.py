@@ -1,0 +1,27 @@
+"""Benchmark: ablations of ES2 design choices (beyond the paper's figures)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import SCALE, run_once
+from repro.experiments.ablations import format_redirect_ablation, run_redirect_policy_ablation
+from repro.units import MS, SEC
+
+
+def test_redirect_policy_ablation(benchmark):
+    duration = int(1.2 * SEC * SCALE)
+    results = run_once(
+        benchmark,
+        lambda: run_redirect_policy_ablation(seed=3, duration_ns=duration, interval_ns=10 * MS),
+    )
+    print()
+    print(format_redirect_ablation(results))
+    no_redirect = results["PI (no redirect)"]
+    full = results["ES2 (full)"]
+    no_pred = results["ES2 no-prediction"]
+    # Redirection is what produces the latency win.
+    assert full.mean_ms() < no_redirect.mean_ms() / 2
+    # Offline prediction matters when no vCPU is online: disabling it
+    # falls back to the affinity target and loses part of the win.
+    assert no_pred.mean_ms() >= full.mean_ms() * 0.9
+    # R works without H too (latency is an interrupt-path property).
+    assert results["PI+R"].mean_ms() < no_redirect.mean_ms() / 2

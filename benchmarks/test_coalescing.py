@@ -1,0 +1,29 @@
+"""Benchmark: the vIC coalescing trade-off vs ES2 (Section II-C, measured)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import SCALE, run_once
+from repro.experiments.coalescing import format_coalescing, run_coalescing
+from repro.units import SEC
+
+
+def test_coalescing_tradeoff(benchmark, warmup_ns, measure_ns):
+    results = run_once(
+        benchmark,
+        lambda: run_coalescing(seed=5, warmup_ns=warmup_ns, measure_ns=measure_ns,
+                               ping_duration_ns=int(0.7 * SEC * SCALE)),
+    )
+    print()
+    print(format_coalescing(results))
+    base = results["Baseline"]
+    vic = results["Baseline+vIC"]
+    es2 = results["ES2"]
+    # Coalescing does cut interrupt exits dramatically...
+    assert vic.interrupt_exit_rate < base.interrupt_exit_rate / 5
+    assert vic.tig > base.tig
+    # ...but impedes latency (the paper's criticism of moderation).
+    assert vic.ping_mean_ms > 2 * base.ping_mean_ms
+    # ES2 gets both: zero interrupt exits and near-baseline latency.
+    assert es2.interrupt_exit_rate == 0
+    assert es2.ping_mean_ms < vic.ping_mean_ms
+    assert es2.tig >= vic.tig

@@ -1,0 +1,46 @@
+"""Benchmark: Fig. 4 — I/O-instruction exit reduction vs quota (UDP & TCP)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig4 import format_fig4, run_fig4
+
+
+def test_fig4a_udp_quota_sweep(benchmark, warmup_ns, measure_ns):
+    points = run_once(
+        benchmark,
+        lambda: run_fig4("udp", quotas=(64, 32, 16, 8, 4), seed=1,
+                         warmup_ns=warmup_ns, measure_ns=measure_ns),
+    )
+    print()
+    print(format_fig4(points, "udp"))
+    by_quota = {p.quota: p for p in points}
+    baseline = by_quota[None]
+    # Paper: baseline UDP I/O exits are on the order of 100k/s.
+    assert baseline.io_exit_rate > 40_000
+    # Monotone (weakly) decline with shrinking quota.
+    rates = [by_quota[q].io_exit_rate for q in (64, 32, 16, 8)]
+    for hi, lo in zip(rates, rates[1:]):
+        assert lo <= hi * 1.10
+    # Paper: quota 8 makes UDP I/O exits negligible (<0.1k/s scale).
+    assert by_quota[8].io_exit_rate < 2_000
+    assert by_quota[8].io_exit_rate < baseline.io_exit_rate / 20
+
+
+def test_fig4b_tcp_quota_sweep(benchmark, warmup_ns, measure_ns):
+    points = run_once(
+        benchmark,
+        lambda: run_fig4("tcp", quotas=(64, 32, 16, 8, 4, 2), seed=1,
+                         warmup_ns=warmup_ns, measure_ns=measure_ns),
+    )
+    print()
+    print(format_fig4(points, "tcp"))
+    by_quota = {p.quota: p for p in points}
+    baseline = by_quota[None]
+    assert baseline.io_exit_rate > 30_000
+    # Paper: quota 4 keeps TCP I/O exits under 10k/s.
+    assert by_quota[4].io_exit_rate < 10_000
+    # Paper: quota 2 and 4 achieve similar results.
+    assert abs(by_quota[2].io_exit_rate - by_quota[4].io_exit_rate) < 10_000
+    # Very small quotas pay switching overhead in throughput (Section V-A).
+    assert by_quota[2].throughput_gbps < by_quota[8].throughput_gbps

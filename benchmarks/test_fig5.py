@@ -1,0 +1,49 @@
+"""Benchmark: Fig. 5 — exit-cause breakdown + TIG for stream workloads."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig5 import format_fig5, run_fig5
+
+
+def test_fig5_exit_breakdown_and_tig(benchmark, warmup_ns, measure_ns):
+    results = run_once(
+        benchmark, lambda: run_fig5(seed=1, warmup_ns=warmup_ns, measure_ns=measure_ns)
+    )
+    print()
+    print(format_fig5(results))
+
+    # --- Fig. 5a: sending ---------------------------------------------------
+    tcp_base = results[("tcp", "send", "Baseline")]
+    tcp_pih = results[("tcp", "send", "PI+H")]
+    udp_base = results[("udp", "send", "Baseline")]
+    udp_pih = results[("udp", "send", "PI+H")]
+
+    # Baseline TCP send: interrupt exits present, total on the 100k/s order.
+    assert tcp_base.exit_rates.interrupt_delivery > 10_000
+    assert tcp_base.total_exit_rate > 80_000
+    # PI+H: remaining exits under 10k/s with TIG above 96% (paper: 97.5%).
+    assert tcp_pih.total_exit_rate < 10_000
+    assert tcp_pih.tig > 0.96
+    # UDP send reaches TIG above 99% (paper: 99.7%) with <1k exits/s.
+    assert udp_pih.total_exit_rate < 2_000
+    assert udp_pih.tig > 0.99
+    assert udp_pih.tig > udp_base.tig
+
+    # --- Fig. 5b: receiving -------------------------------------------------
+    tcp_rx_base = results[("tcp", "receive", "Baseline")]
+    tcp_rx_pi = results[("tcp", "receive", "PI")]
+    udp_rx_pi = results[("udp", "receive", "PI")]
+    udp_rx_base = results[("udp", "receive", "Baseline")]
+
+    # PI raises receive TIG (paper: 91.1% -> 94.8%).
+    assert tcp_rx_pi.tig > tcp_rx_base.tig
+    # PI eliminates the interrupt exits of the receive path.
+    assert tcp_rx_pi.exit_rates.interrupt_delivery == 0
+    assert udp_rx_pi.exit_rates.interrupt_delivery == 0
+    # Baseline UDP receive is dominated by interrupt delivery/completion.
+    assert udp_rx_base.exit_rates.interrupt_delivery > 5_000
+    # UDP receive has no I/O-instruction exits (unidirectional traffic).
+    assert udp_rx_base.exit_rates.io_request < 500
+    # PI and PI+H keep UDP-receive TIG above 99% (paper: >99%).
+    assert udp_rx_pi.tig > 0.99

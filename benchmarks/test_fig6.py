@@ -1,0 +1,52 @@
+"""Benchmark: Fig. 6 — multiplexed netperf TCP throughput by packet size."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig6 import format_fig6, run_fig6
+
+#: reduced size grid keeps the multiplexed sweep tractable; the full grid
+#: (256/512/1024/1448) is available through run_fig6 directly.
+BENCH_SIZES = (512, 1448)
+
+
+def test_fig6a_tcp_send_throughput(benchmark, warmup_ns, measure_ns):
+    results = run_once(
+        benchmark,
+        lambda: run_fig6("send", packet_sizes=BENCH_SIZES, seed=3,
+                         warmup_ns=warmup_ns, measure_ns=measure_ns),
+    )
+    print()
+    print(format_fig6(results, "send"))
+    for size in BENCH_SIZES:
+        base = results[("Baseline", size)]
+        es2 = results[("PI+H+R", size)]
+        pih = results[("PI+H", size)]
+        # Paper: hybrid handling brings the major send-side gain; full ES2
+        # approaches 2x baseline (we require >1.3x).
+        assert pih > base * 1.05
+        assert es2 > base * 1.30
+    # Throughput grows with packet size for every config.
+    for name in ("Baseline", "PI+H+R"):
+        assert results[(name, 1448)] > results[(name, 512)]
+
+
+def test_fig6b_tcp_receive_throughput(benchmark, warmup_ns, measure_ns):
+    results = run_once(
+        benchmark,
+        lambda: run_fig6("receive", packet_sizes=BENCH_SIZES, seed=3,
+                         warmup_ns=warmup_ns, measure_ns=measure_ns),
+    )
+    print()
+    print(format_fig6(results, "receive"))
+    for size in BENCH_SIZES:
+        base = results[("Baseline", size)]
+        es2 = results[("PI+H+R", size)]
+        assert es2 > base * 1.15
+    # Paper: redirection brings a significant receive gain over PI+H.
+    # Individual cells are noisy at short measurement windows, so the
+    # claim is asserted on the aggregate across packet sizes (the full-
+    # length run in EXPERIMENTS.md shows +18-23% per size).
+    es2_total = sum(results[("PI+H+R", s)] for s in BENCH_SIZES)
+    pih_total = sum(results[("PI+H", s)] for s in BENCH_SIZES)
+    assert es2_total > pih_total * 1.03

@@ -1,0 +1,26 @@
+"""Benchmark: Fig. 7 — ping RTT under multiplexed vCPUs."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import SCALE, run_once
+from repro.experiments.fig7 import format_fig7, run_fig7
+from repro.units import MS, SEC
+
+
+def test_fig7_ping_rtt(benchmark):
+    duration = int(1.2 * SEC * SCALE)
+    results = run_once(
+        benchmark, lambda: run_fig7(seed=3, duration_ns=duration, interval_ns=10 * MS)
+    )
+    print()
+    print(format_fig7(results))
+    base = results["Baseline"]
+    es2 = results["PI+H+R"]
+    assert len(base) > 50 and len(es2) > 50
+    # Paper: baseline RTT varies widely with ~18ms peaks.
+    assert base.max_ms() > 10.0
+    assert base.mean_ms() > 3.0
+    # Paper: ES2 keeps RTT at a very low level (<0.5ms typical).
+    assert es2.percentile_ms(50) < 0.5
+    assert es2.mean_ms() < base.mean_ms() / 3
+    assert es2.max_ms() < base.max_ms()

@@ -1,0 +1,35 @@
+"""Benchmark: Fig. 8 — Memcached and Apache throughput."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig8 import format_fig8, run_fig8
+
+
+def test_fig8a_memcached(benchmark, warmup_ns, measure_ns):
+    results = run_once(
+        benchmark,
+        lambda: run_fig8("memcached", seed=3, warmup_ns=warmup_ns, measure_ns=measure_ns),
+    )
+    print()
+    print(format_fig8(results, "memcached"))
+    base = results["Baseline"]
+    # Paper ordering: Baseline < PI < PI+H < PI+H+R (1.8x total).
+    assert results["PI"] > base * 1.02
+    assert results["PI+H"] >= results["PI"] * 0.98
+    assert results["PI+H+R"] > results["PI+H"]
+    assert results["PI+H+R"] > base * 1.2
+
+
+def test_fig8b_apache(benchmark, warmup_ns, measure_ns):
+    results = run_once(
+        benchmark,
+        lambda: run_fig8("apache", seed=3, warmup_ns=warmup_ns, measure_ns=measure_ns),
+    )
+    print()
+    print(format_fig8(results, "apache"))
+    base = results["Baseline"]
+    # Paper: full ES2 ~2x baseline (we require >1.5x).
+    assert results["PI+H+R"] > base * 1.5
+    assert results["PI+H"] > base * 1.02
+    assert results["PI+H+R"] > results["PI+H"]

@@ -1,0 +1,32 @@
+"""Benchmark: Fig. 9 — Httperf average connection time vs request rate."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import SCALE, run_once
+from repro.experiments.fig9 import find_knee, format_fig9, run_fig9
+from repro.units import SEC
+
+BENCH_RATES = (800, 1400, 1800, 2200, 2600, 3000)
+BENCH_CONFIGS = ("Baseline", "PI+H+R")
+
+
+def test_fig9_connection_time_knee(benchmark):
+    duration = int(1.6 * SEC * SCALE)
+    results = run_once(
+        benchmark,
+        lambda: run_fig9(rates=BENCH_RATES, configs=BENCH_CONFIGS, seed=3,
+                         duration_ns=duration),
+    )
+    print()
+    print(format_fig9(results))
+    base_knee = find_knee(results, "Baseline")
+    es2_knee = find_knee(results, "PI+H+R")
+    print(f"knees: Baseline={base_knee}/s  ES2={es2_knee}/s")
+    # Paper: baseline grows rapidly past ~1800/s; ES2 stays low until ~2600/s.
+    assert base_knee <= 2200
+    assert es2_knee >= 2600
+    assert es2_knee > base_knee
+    # Below the baseline knee, ES2's connection time is much lower.
+    assert results[("PI+H+R", 800)] < results[("Baseline", 800)] / 2
+    # Past the baseline knee, baseline connection times explode.
+    assert results[("Baseline", 2600)] > 10 * results[("Baseline", 800)]

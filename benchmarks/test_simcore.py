@@ -1,0 +1,47 @@
+"""Benchmark: raw simulator throughput (harness performance, not a paper
+figure).
+
+These are the only benchmarks where the *timing* is the result: they track
+how many simulated events and how much simulated time the DES core chews
+per wall-clock second, so performance regressions in the hot paths (event
+heap, dispatch engine, virtio pipeline) are visible.
+"""
+
+from __future__ import annotations
+
+from repro.core.configs import paper_config
+from repro.experiments.testbed import single_vcpu_testbed
+from repro.sim.simulator import Simulator
+from repro.units import MS
+from repro.workloads.netperf import NetperfUdpSend
+
+
+def test_event_heap_throughput(benchmark):
+    """Schedule+fire one million trivial events."""
+
+    def run():
+        sim = Simulator()
+        for i in range(100_000):
+            sim.schedule(i, _noop)
+        sim.run_until_empty()
+        return sim.events_fired
+
+    fired = benchmark(run)
+    assert fired == 100_000
+
+
+def _noop():
+    pass
+
+
+def test_full_stack_simulated_time_rate(benchmark):
+    """Simulate 100 ms of a busy single-VM testbed (the Fig. 4 workload)."""
+
+    def run():
+        tb = single_vcpu_testbed(paper_config("PI+H", quota=8), seed=1)
+        NetperfUdpSend(tb, tb.tested, payload_size=256)
+        tb.run_for(100 * MS)
+        return tb.sim.events_fired
+
+    fired = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert fired > 10_000

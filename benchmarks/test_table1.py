@@ -1,0 +1,30 @@
+"""Benchmark: Table I — VM-exit cause breakdown, TCP sending, Baseline vs PI."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.table1 import format_table1, run_table1
+
+
+def test_table1_exit_breakdown(benchmark, warmup_ns, measure_ns):
+    results = run_once(
+        benchmark, lambda: run_table1(seed=1, warmup_ns=warmup_ns, measure_ns=measure_ns)
+    )
+    print()
+    print(format_table1(results))
+    base = results["Baseline"].exit_rates
+    pi = results["PI"].exit_rates
+
+    # Paper: interrupt delivery + completion are ~45% of baseline exits.
+    pct = base.percentages()
+    interrupt_share = pct["interrupt-delivery"] + pct["interrupt-completion"]
+    assert interrupt_share > 25.0
+    # Paper: I/O requests are the largest single cause.
+    assert pct["io-request"] > 35.0
+    # PI eliminates the interrupt-related exits entirely...
+    assert pi.interrupt_delivery == 0
+    assert pi.interrupt_completion == 0
+    # ...and raises the I/O-request rate (paper: +20%).
+    assert pi.io_request > base.io_request * 1.05
+    # Others shrink under PI (paper: 2112 -> 964).
+    assert pi.others < base.others

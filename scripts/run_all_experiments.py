@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Run every paper experiment and print the results (EXPERIMENTS.md source).
+
+This is the long-form run behind EXPERIMENTS.md; the benchmark suite runs
+the same experiments with shorter windows.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments.ablations import format_redirect_ablation, run_redirect_policy_ablation
+from repro.experiments.fig4 import format_fig4, run_fig4
+from repro.experiments.fig5 import format_fig5, run_fig5
+from repro.experiments.fig6 import format_fig6, run_fig6
+from repro.experiments.fig7 import format_fig7, run_fig7
+from repro.experiments.fig8 import format_fig8, run_fig8
+from repro.experiments.fig9 import find_knee, format_fig9, run_fig9
+from repro.experiments.sriov import format_sriov, run_sriov
+from repro.experiments.coalescing import format_coalescing, run_coalescing
+from repro.experiments.table1 import format_table1, run_table1
+from repro.units import MS, SEC
+
+WARMUP = 200 * MS
+MEASURE = 500 * MS
+
+
+def stamp(label):
+    print(f"\n===== {label} [{time.strftime('%H:%M:%S')}] =====", flush=True)
+
+
+def main() -> None:
+    stamp("Table I")
+    print(format_table1(run_table1(seed=1, warmup_ns=WARMUP, measure_ns=MEASURE)))
+
+    stamp("Fig 4a (UDP)")
+    print(format_fig4(run_fig4("udp", seed=1, warmup_ns=WARMUP, measure_ns=MEASURE), "udp"))
+    stamp("Fig 4a (UDP 1024B)")
+    print(format_fig4(run_fig4("udp", payload_size=1024, quotas=(32, 16, 8), seed=1,
+                               warmup_ns=WARMUP, measure_ns=MEASURE), "udp-1024"))
+    stamp("Fig 4b (TCP)")
+    print(format_fig4(run_fig4("tcp", seed=1, warmup_ns=WARMUP, measure_ns=MEASURE), "tcp"))
+
+    stamp("Fig 5")
+    print(format_fig5(run_fig5(seed=1, warmup_ns=WARMUP, measure_ns=MEASURE)))
+
+    stamp("Fig 6a (send)")
+    send = run_fig6("send", seed=3, warmup_ns=300 * MS, measure_ns=600 * MS)
+    print(format_fig6(send, "send"))
+    stamp("Fig 6b (receive)")
+    recv = run_fig6("receive", seed=3, warmup_ns=300 * MS, measure_ns=600 * MS)
+    print(format_fig6(recv, "receive"))
+
+    stamp("Fig 7")
+    print(format_fig7(run_fig7(seed=3, duration_ns=int(1.5 * SEC))))
+
+    stamp("Fig 8a (memcached)")
+    print(format_fig8(run_fig8("memcached", seed=3, warmup_ns=300 * MS, measure_ns=600 * MS),
+                      "memcached"))
+    stamp("Fig 8b (apache)")
+    print(format_fig8(run_fig8("apache", seed=3, warmup_ns=300 * MS, measure_ns=600 * MS),
+                      "apache"))
+
+    stamp("Fig 9")
+    fig9 = run_fig9(seed=3, duration_ns=2 * SEC, configs=("Baseline", "PI", "PI+H", "PI+H+R"))
+    print(format_fig9(fig9))
+    for cfg in ("Baseline", "PI", "PI+H", "PI+H+R"):
+        print(f"knee[{cfg}] = {find_knee(fig9, cfg)}/s")
+
+    stamp("SR-IOV (Section VII)")
+    print(format_sriov(run_sriov(seed=3, warmup_ns=300 * MS, measure_ns=600 * MS)))
+
+    stamp("Ablation: redirection policies")
+    print(format_redirect_ablation(run_redirect_policy_ablation(seed=3, duration_ns=int(1.5 * SEC))))
+
+    stamp("Ablation: vIC coalescing vs ES2")
+    print(format_coalescing(run_coalescing(seed=5, warmup_ns=WARMUP, measure_ns=MEASURE)))
+
+    stamp("done")
+
+
+if __name__ == "__main__":
+    main()

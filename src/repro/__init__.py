@@ -1,0 +1,101 @@
+"""repro — a full-system reproduction of *ES2: Aiming at an Optimal Virtual
+I/O Event Path* (Hu et al., ICPP 2017).
+
+The package simulates a KVM host at the event-path level — CPU cores, a
+CFS-like host scheduler, VM exits, emulated and hardware (posted-interrupt)
+APICs, virtio/vhost paravirtual I/O — and implements ES2's three components
+on top: posted-interrupt processing, hybrid I/O handling (Algorithm 1), and
+intelligent interrupt redirection.
+
+Quickstart::
+
+    from repro import paper_config, single_vcpu_testbed, NetperfUdpSend
+    from repro.units import MS
+
+    tb = single_vcpu_testbed(paper_config("PI+H", quota=8), seed=1)
+    wl = NetperfUdpSend(tb, tb.tested, payload_size=256)
+    tb.run_for(500 * MS)
+    print(tb.tested.vm.exit_stats.by_category())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured results of every table and figure.
+"""
+
+from repro.config import CostModel, FeatureSet, SchedParams, default_cost_model
+from repro.core import Es2Controller, InterruptRedirector, VcpuScheduleTracker, paper_config
+from repro.errors import (
+    ConfigError,
+    GuestCrash,
+    GuestError,
+    HardwareError,
+    HypervisorError,
+    ReproError,
+    SchedulerError,
+    SimulationError,
+    VirtioError,
+    WorkloadError,
+)
+from repro.experiments import (
+    Testbed,
+    VmSetup,
+    multiplexed_testbed,
+    single_vcpu_testbed,
+)
+from repro.kvm import ExitReason, Kvm, VirtualMachine, Vcpu
+from repro.sim import Simulator
+from repro.workloads import (
+    ApacheWorkload,
+    HttperfWorkload,
+    MemcachedWorkload,
+    NetperfTcpReceive,
+    NetperfTcpSend,
+    NetperfUdpReceive,
+    NetperfUdpSend,
+    PingWorkload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # configuration
+    "CostModel",
+    "FeatureSet",
+    "SchedParams",
+    "default_cost_model",
+    "paper_config",
+    # core ES2
+    "Es2Controller",
+    "VcpuScheduleTracker",
+    "InterruptRedirector",
+    # simulation & hypervisor
+    "Simulator",
+    "Kvm",
+    "VirtualMachine",
+    "Vcpu",
+    "ExitReason",
+    # testbed
+    "Testbed",
+    "VmSetup",
+    "single_vcpu_testbed",
+    "multiplexed_testbed",
+    # workloads
+    "NetperfTcpSend",
+    "NetperfTcpReceive",
+    "NetperfUdpSend",
+    "NetperfUdpReceive",
+    "PingWorkload",
+    "MemcachedWorkload",
+    "ApacheWorkload",
+    "HttperfWorkload",
+    # errors
+    "ReproError",
+    "SimulationError",
+    "SchedulerError",
+    "HardwareError",
+    "HypervisorError",
+    "VirtioError",
+    "GuestError",
+    "GuestCrash",
+    "ConfigError",
+    "WorkloadError",
+]

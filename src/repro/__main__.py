@@ -1,0 +1,124 @@
+"""Command-line entry point: run paper experiments from the shell.
+
+Examples::
+
+    python -m repro table1
+    python -m repro fig4 --protocol tcp
+    python -m repro fig6 --direction receive --sizes 512 1448
+    python -m repro fig7
+    python -m repro fig9 --rates 800 1800 2600
+    python -m repro sriov
+    python -m repro all            # everything (long)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.ablations import format_redirect_ablation, run_redirect_policy_ablation
+from repro.experiments.coalescing import format_coalescing, run_coalescing
+from repro.experiments.fig4 import format_fig4, run_fig4
+from repro.experiments.fig5 import format_fig5, run_fig5
+from repro.experiments.fig6 import DEFAULT_PACKET_SIZES, format_fig6, run_fig6
+from repro.experiments.fig7 import format_fig7, run_fig7
+from repro.experiments.fig8 import format_fig8, run_fig8
+from repro.experiments.fig9 import DEFAULT_RATES, find_knee, format_fig9, run_fig9
+from repro.experiments.sriov import format_sriov, run_sriov
+from repro.experiments.table1 import format_table1, run_table1
+from repro.units import MS
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--seed", type=int, default=None, help="simulation seed")
+    p.add_argument("--warmup-ms", type=int, default=200)
+    p.add_argument("--measure-ms", type=int, default=500)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the tables and figures of the ES2 paper (ICPP 2017).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in ("table1", "fig5", "fig8", "sriov", "ablation", "coalescing", "all"):
+        p = sub.add_parser(name)
+        _add_common(p)
+
+    p = sub.add_parser("fig4")
+    _add_common(p)
+    p.add_argument("--protocol", choices=("udp", "tcp", "both"), default="both")
+
+    p = sub.add_parser("fig6")
+    _add_common(p)
+    p.add_argument("--direction", choices=("send", "receive", "both"), default="both")
+    p.add_argument("--sizes", type=int, nargs="+", default=list(DEFAULT_PACKET_SIZES))
+
+    p = sub.add_parser("fig7")
+    _add_common(p)
+    p.add_argument("--duration-ms", type=int, default=1500)
+
+    p = sub.add_parser("fig9")
+    _add_common(p)
+    p.add_argument("--rates", type=int, nargs="+", default=list(DEFAULT_RATES))
+    p.add_argument("--duration-ms", type=int, default=2000)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    warmup = args.warmup_ms * MS
+    measure = args.measure_ms * MS
+
+    def seed(default):
+        """Resolve the seed CLI option against a default."""
+        return args.seed if args.seed is not None else default
+
+    cmd = args.command
+    if cmd in ("table1", "all"):
+        print(format_table1(run_table1(seed=seed(1), warmup_ns=warmup, measure_ns=measure)))
+    if cmd == "fig4" or cmd == "all":
+        protos = ("udp", "tcp") if cmd == "all" or args.__dict__.get("protocol", "both") == "both" \
+            else (args.protocol,)
+        for proto in protos:
+            print(format_fig4(run_fig4(proto, seed=seed(1), warmup_ns=warmup,
+                                       measure_ns=measure), proto))
+    if cmd in ("fig5", "all"):
+        print(format_fig5(run_fig5(seed=seed(1), warmup_ns=warmup, measure_ns=measure)))
+    if cmd == "fig6" or cmd == "all":
+        directions = ("send", "receive") if cmd == "all" or args.__dict__.get("direction", "both") == "both" \
+            else (args.direction,)
+        sizes = tuple(args.__dict__.get("sizes", DEFAULT_PACKET_SIZES))
+        for direction in directions:
+            print(format_fig6(run_fig6(direction, packet_sizes=sizes, seed=seed(3),
+                                       warmup_ns=warmup, measure_ns=measure), direction))
+    if cmd == "fig7" or cmd == "all":
+        duration = args.__dict__.get("duration_ms", 1500) * MS
+        print(format_fig7(run_fig7(seed=seed(3), duration_ns=duration)))
+    if cmd in ("fig8", "all"):
+        for app in ("memcached", "apache"):
+            print(format_fig8(run_fig8(app, seed=seed(3), warmup_ns=warmup,
+                                       measure_ns=measure), app))
+    if cmd == "fig9" or cmd == "all":
+        rates = tuple(args.__dict__.get("rates", DEFAULT_RATES))
+        duration = args.__dict__.get("duration_ms", 2000) * MS
+        results = run_fig9(rates=rates, seed=seed(3), duration_ns=duration)
+        print(format_fig9(results))
+        for cfg in sorted({c for (c, _) in results}):
+            print(f"knee[{cfg}] = {find_knee(results, cfg)}/s")
+    if cmd in ("sriov", "all"):
+        print(format_sriov(run_sriov(seed=seed(3), warmup_ns=warmup, measure_ns=measure)))
+    if cmd in ("ablation", "all"):
+        print(format_redirect_ablation(run_redirect_policy_ablation(seed=seed(3))))
+    if cmd in ("coalescing", "all"):
+        print(format_coalescing(run_coalescing(seed=seed(5), warmup_ns=warmup,
+                                               measure_ns=measure)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

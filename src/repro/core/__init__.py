@@ -1,0 +1,28 @@
+"""ES2 — the paper's primary contribution.
+
+Three cooperating components (Fig. 3):
+
+* **PI Processing** lives in :mod:`repro.kvm` (vAPIC pages, PI descriptors)
+  and is switched on by ``FeatureSet.pi``;
+* **Hybrid I/O Handling** lives in :mod:`repro.vhost.hybrid`
+  (Algorithm 1) and is switched on by ``FeatureSet.hybrid``;
+* **Intelligent Interrupt Redirection** lives here: a scheduling-status
+  tracker fed by the KVM preemption notifiers, and a redirector installed
+  at the ``kvm_set_msi_irq`` interception point.
+
+:func:`paper_config` builds the four evaluation configurations of
+Section VI-A (Baseline / PI / PI+H / PI+H+R).
+"""
+
+from repro.core.tracker import VcpuScheduleTracker
+from repro.core.redirector import InterruptRedirector
+from repro.core.controller import Es2Controller
+from repro.core.configs import paper_config, PAPER_CONFIGS
+
+__all__ = [
+    "VcpuScheduleTracker",
+    "InterruptRedirector",
+    "Es2Controller",
+    "paper_config",
+    "PAPER_CONFIGS",
+]

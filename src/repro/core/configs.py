@@ -1,0 +1,43 @@
+"""The four evaluation configurations of Section VI-A."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.config import FeatureSet
+from repro.errors import ConfigError
+
+__all__ = ["paper_config", "PAPER_CONFIGS"]
+
+#: Canonical configuration names, in the paper's presentation order.
+PAPER_CONFIGS = ("Baseline", "PI", "PI+H", "PI+H+R")
+
+_ALIASES = {
+    "baseline": "Baseline",
+    "pi": "PI",
+    "pi+h": "PI+H",
+    "pi+h+r": "PI+H+R",
+    "es2": "PI+H+R",
+    "full": "PI+H+R",
+}
+
+
+def paper_config(name: str, quota: Optional[int] = None) -> FeatureSet:
+    """Build one of the paper's configurations by name.
+
+    ``quota`` overrides the ``poll_quota`` module parameter (the paper's
+    selected values: 8 for UDP-dominated workloads, 4 for TCP).
+    """
+    canonical = _ALIASES.get(name.strip().lower())
+    if canonical is None:
+        raise ConfigError(f"unknown configuration {name!r}; expected one of {PAPER_CONFIGS} or ES2")
+    kwargs: Dict[str, object] = {}
+    if quota is not None:
+        kwargs["quota"] = quota
+    if canonical == "Baseline":
+        return FeatureSet(pi=False, hybrid=False, redirect=False, **kwargs)
+    if canonical == "PI":
+        return FeatureSet(pi=True, hybrid=False, redirect=False, **kwargs)
+    if canonical == "PI+H":
+        return FeatureSet(pi=True, hybrid=True, redirect=False, **kwargs)
+    return FeatureSet(pi=True, hybrid=True, redirect=True, **kwargs)

@@ -1,0 +1,42 @@
+"""The ES2 controller: wires the components onto a hypervisor instance."""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.core.redirector import InterruptRedirector
+from repro.core.tracker import VcpuScheduleTracker
+from repro.hw.msi import MsiMessage
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kvm.hypervisor import Kvm
+    from repro.kvm.vm import VirtualMachine
+
+__all__ = ["Es2Controller"]
+
+
+class Es2Controller:
+    """Installs ES2's scheduling tracker and redirection hook on a Kvm.
+
+    PI processing and hybrid I/O handling are selected per VM through its
+    :class:`~repro.config.FeatureSet` (they live in the interrupt and vhost
+    layers); the controller contributes the pieces that need global state:
+    the scheduler information channel and the MSI interception.  VMs whose
+    feature set has ``redirect`` off pass through untouched, so mixed
+    configurations can share a host.
+    """
+
+    def __init__(self, kvm: "Kvm"):
+        self.kvm = kvm
+        self.tracker = VcpuScheduleTracker(kvm)
+        self.redirector = InterruptRedirector(self.tracker)
+        kvm.router.set_interceptor(self._intercept)
+
+    def _intercept(self, vm: "VirtualMachine", msg: MsiMessage) -> Optional[int]:
+        if not vm.features.redirect:
+            return None
+        return self.redirector.select(vm, msg)
+
+    def uninstall(self) -> None:
+        """Remove the ES2 interceptor from the router."""
+        self.kvm.router.set_interceptor(None)

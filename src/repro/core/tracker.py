@@ -1,0 +1,92 @@
+"""ES2's vCPU scheduling-status tracker (Section IV-C / V-B).
+
+The tracker is the "information channel to the vCPU scheduler": it
+registers preemption notifiers (the only scheduling visibility KVM offers,
+since CFS cannot distinguish vCPU threads from ordinary threads) and
+maintains, per VM:
+
+* an **online list** — vCPUs currently running on some core;
+* an **offline list**, ordered by descheduling time — each descheduled vCPU
+  is appended at the tail, so the *head* is the vCPU that has been offline
+  longest and is therefore predicted to regain the CPU first.
+
+In the real system these per-VM lists are touched concurrently from
+several cores and must be lock-protected (Section V-B); the simulator is
+single-threaded, so the lists model the post-synchronization state.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Set, TYPE_CHECKING
+
+from repro.sched.notifier import PreemptionNotifier
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kvm.hypervisor import Kvm
+    from repro.kvm.vm import VirtualMachine
+
+__all__ = ["VcpuScheduleTracker"]
+
+
+class VcpuScheduleTracker:
+    """Per-VM online/offline vCPU bookkeeping via preemption notifiers."""
+
+    def __init__(self, kvm: "Kvm"):
+        self.kvm = kvm
+        self._online: Dict[int, Set[int]] = {}
+        self._offline: Dict[int, Deque[int]] = {}
+        self._offline_listeners: List[Callable] = []
+        self.transitions = 0
+        kvm.machine.notifiers.register(
+            PreemptionNotifier(self._sched_in, self._sched_out, name="es2-tracker")
+        )
+
+    # --------------------------------------------------------------- wiring
+    def _ensure(self, vm: "VirtualMachine") -> None:
+        key = id(vm)
+        if key not in self._online:
+            self._online[key] = set()
+            self._offline[key] = deque(range(vm.n_vcpus))
+
+    def add_offline_listener(self, fn: Callable) -> None:
+        """``fn(vm, vcpu_index)`` fires when a vCPU goes offline."""
+        self._offline_listeners.append(fn)
+
+    # ------------------------------------------------------------ notifiers
+    def _sched_in(self, thread, core) -> None:
+        vm = thread.vm
+        self._ensure(vm)
+        key = id(vm)
+        self.transitions += 1
+        try:
+            self._offline[key].remove(thread.index)
+        except ValueError:
+            pass
+        self._online[key].add(thread.index)
+
+    def _sched_out(self, thread, core) -> None:
+        vm = thread.vm
+        self._ensure(vm)
+        key = id(vm)
+        self.transitions += 1
+        self._online[key].discard(thread.index)
+        if thread.index not in self._offline[key]:
+            self._offline[key].append(thread.index)
+        for fn in self._offline_listeners:
+            fn(vm, thread.index)
+
+    # --------------------------------------------------------------- queries
+    def online_indices(self, vm: "VirtualMachine") -> Set[int]:
+        """Set of currently-online vCPU indices for the VM."""
+        self._ensure(vm)
+        return self._online[id(vm)]
+
+    def offline_order(self, vm: "VirtualMachine") -> Deque[int]:
+        """Offline vCPUs, head = offline the longest (next predicted online)."""
+        self._ensure(vm)
+        return self._offline[id(vm)]
+
+    def is_online(self, vm: "VirtualMachine", vcpu_index: int) -> bool:
+        """True if the vCPU index is currently online."""
+        return vcpu_index in self.online_indices(vm)

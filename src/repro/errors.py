@@ -1,0 +1,49 @@
+"""Exception hierarchy for the ES2 reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class SimulationError(ReproError):
+    """Raised for inconsistencies in the discrete-event core."""
+
+
+class SchedulerError(ReproError):
+    """Raised for invalid scheduler state transitions."""
+
+
+class HardwareError(ReproError):
+    """Raised for invalid hardware-model operations (APIC, NIC, cores)."""
+
+
+class HypervisorError(ReproError):
+    """Raised for invalid hypervisor/vCPU state transitions."""
+
+
+class VirtioError(ReproError):
+    """Raised for virtqueue protocol violations."""
+
+
+class GuestError(ReproError):
+    """Raised for guest-OS model violations (bad vector, crashed guest)."""
+
+
+class GuestCrash(GuestError):
+    """The guest OS model detected a fatal condition.
+
+    The paper notes that redirecting per-vCPU interrupts (e.g. the timer)
+    "may cause the guest OS to crash"; the guest model raises this error when
+    such an illegal redirection is observed, so tests can assert that ES2's
+    vector filtering prevents it.
+    """
+
+
+class ConfigError(ReproError):
+    """Raised for invalid experiment or cost-model configuration."""
+
+
+class WorkloadError(ReproError):
+    """Raised for invalid workload definitions or usage."""

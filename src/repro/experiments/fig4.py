@@ -1,0 +1,82 @@
+"""Fig. 4 — reduction of I/O-instruction exits vs. the quota value.
+
+A 1-vCPU VM sends UDP (Fig. 4a) or TCP (Fig. 4b) streams; each quota value
+is compared against the no-hybrid baseline.  Paper shape: monotone decline
+with quota; UDP is negligible (<0.1k/s) at quota 8 and below; TCP needs
+quota ≤ 4; very small quotas cost throughput to handler switching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.configs import paper_config
+from repro.experiments.runner import DEFAULT_MEASURE_NS, DEFAULT_WARMUP_NS, measure_window
+from repro.experiments.testbed import single_vcpu_testbed
+from repro.metrics.report import format_table
+from repro.workloads.netperf import NetperfTcpSend, NetperfUdpSend
+
+__all__ = ["QuotaPoint", "run_fig4", "format_fig4"]
+
+DEFAULT_QUOTAS = (64, 32, 16, 8, 4, 2)
+
+
+@dataclass
+class QuotaPoint:
+    quota: Optional[int]  #: None = baseline (no hybrid)
+    io_exit_rate: float
+    total_exit_rate: float
+    throughput_gbps: float
+
+
+def run_fig4(
+    protocol: str = "udp",
+    payload_size: Optional[int] = None,
+    quotas: Sequence[int] = DEFAULT_QUOTAS,
+    seed: int = 1,
+    warmup_ns: int = DEFAULT_WARMUP_NS,
+    measure_ns: int = DEFAULT_MEASURE_NS,
+) -> List[QuotaPoint]:
+    """Sweep the quota for one protocol; the first point is the baseline."""
+    if protocol not in ("udp", "tcp"):
+        raise ValueError("protocol must be 'udp' or 'tcp'")
+    if payload_size is None:
+        payload_size = 256 if protocol == "udp" else 1448
+    points: List[QuotaPoint] = []
+    for quota in (None, *quotas):
+        name = "Baseline" if quota is None else "PI+H"
+        feats = paper_config(name) if quota is None else paper_config(name, quota=quota)
+        tb = single_vcpu_testbed(feats, seed=seed)
+        if protocol == "udp":
+            wl = NetperfUdpSend(tb, tb.tested, n_streams=1, payload_size=payload_size)
+        else:
+            wl = NetperfTcpSend(tb, tb.tested, n_streams=1, payload_size=payload_size)
+        run = measure_window(tb, wl, warmup_ns, measure_ns, config_name=name)
+        points.append(
+            QuotaPoint(
+                quota=quota,
+                io_exit_rate=run.exit_rates.io_request,
+                total_exit_rate=run.total_exit_rate,
+                throughput_gbps=run.throughput_gbps,
+            )
+        )
+    return points
+
+
+def format_fig4(points: List[QuotaPoint], protocol: str) -> str:
+    """Render the results as a paper-style text table."""
+    rows = [
+        [
+            "baseline" if p.quota is None else f"quota={p.quota}",
+            f"{p.io_exit_rate:.0f}",
+            f"{p.total_exit_rate:.0f}",
+            f"{p.throughput_gbps:.3f}",
+        ]
+        for p in points
+    ]
+    return format_table(
+        ["Configuration", "I/O-instr exits/s", "Total exits/s", "Throughput (Gbps)"],
+        rows,
+        title=f"Fig. 4 ({protocol.upper()} sending): I/O-instruction exits vs quota",
+    )

@@ -1,0 +1,62 @@
+"""Fig. 8 — Memcached and Apache throughput under multiplexed vCPUs.
+
+Paper anchors: Memcached — PI +18%, hybrid +21% more, full ES2 ≈ 1.8x
+baseline; Apache — PI +19%, hybrid +18% more, full ES2 ≈ 2x baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.core.configs import PAPER_CONFIGS, paper_config
+from repro.experiments.runner import DEFAULT_MEASURE_NS, DEFAULT_WARMUP_NS
+from repro.experiments.testbed import multiplexed_testbed
+from repro.metrics.report import format_table
+from repro.workloads.apache import ApacheWorkload
+from repro.workloads.memcached import MemcachedWorkload
+
+__all__ = ["run_fig8", "format_fig8"]
+
+
+def run_fig8(
+    application: str = "memcached",
+    configs: Sequence[str] = PAPER_CONFIGS,
+    seed: int = 3,
+    warmup_ns: int = DEFAULT_WARMUP_NS,
+    measure_ns: int = DEFAULT_MEASURE_NS,
+) -> Dict[str, float]:
+    """Measure application throughput (ops/s or requests/s) per config."""
+    if application not in ("memcached", "apache"):
+        raise ValueError("application must be 'memcached' or 'apache'")
+    out: Dict[str, float] = {}
+    for name in configs:
+        quota = 8 if application == "memcached" else 4
+        tb = multiplexed_testbed(paper_config(name, quota=quota), seed=seed)
+        if application == "memcached":
+            wl = MemcachedWorkload(tb, tb.tested)
+        else:
+            wl = ApacheWorkload(tb, tb.tested)
+        wl.start()
+        tb.run_for(warmup_ns)
+        wl.mark()
+        tb.run_for(measure_ns)
+        if application == "memcached":
+            out[name] = wl.ops_per_sec()
+        else:
+            out[name] = wl.requests_per_sec()
+    return out
+
+
+def format_fig8(results: Dict[str, float], application: str) -> str:
+    """Render the results as a paper-style text table."""
+    base = results.get("Baseline") or next(iter(results.values()))
+    unit = "ops/s" if application == "memcached" else "req/s"
+    rows = [
+        [name, f"{value:.0f}", f"{value / base:.2f}x"]
+        for name, value in results.items()
+    ]
+    return format_table(
+        ["Config", f"Throughput ({unit})", "vs Baseline"],
+        rows,
+        title=f"Fig. 8 ({application}): throughput under multiplexed vCPUs",
+    )

@@ -1,0 +1,72 @@
+"""Fig. 9 — Httperf average connection time vs. request rate.
+
+Paper anchors: all configurations are comparable below ~1,600 requests/s;
+the Baseline's average connection time grows rapidly past 1,800/s (accept
+backlog overflow → SYN retransmissions); full ES2 stays low until the rate
+reaches ~2,600/s.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.core.configs import paper_config
+from repro.experiments.testbed import multiplexed_testbed
+from repro.metrics.report import format_table
+from repro.units import SEC
+from repro.workloads.httperf import HttperfWorkload
+
+__all__ = ["run_fig9", "format_fig9", "DEFAULT_RATES", "FIG9_CONFIGS", "find_knee"]
+
+DEFAULT_RATES = (800, 1400, 1800, 2200, 2600, 3000)
+FIG9_CONFIGS = ("Baseline", "PI", "PI+H", "PI+H+R")
+
+
+def run_fig9(
+    rates: Sequence[int] = DEFAULT_RATES,
+    configs: Sequence[str] = FIG9_CONFIGS,
+    seed: int = 3,
+    duration_ns: int = 2 * SEC,
+) -> Dict[Tuple[str, int], float]:
+    """Average connection time (ms) per (config, rate) cell."""
+    out: Dict[Tuple[str, int], float] = {}
+    for name in configs:
+        for rate in rates:
+            tb = multiplexed_testbed(paper_config(name, quota=4), seed=seed)
+            wl = HttperfWorkload(tb, tb.tested, rate_per_sec=rate)
+            wl.start()
+            tb.run_for(duration_ns)
+            out[(name, rate)] = wl.avg_connect_time_ms()
+    return out
+
+
+def find_knee(results: Dict[Tuple[str, int], float], config: str, factor: float = 3.0) -> int:
+    """The lowest rate from which connection times *stay* above ``factor`` x
+    the config's lowest-rate value (sustained exceedance, so a single noisy
+    spike below the knee is not mistaken for it); returns the max rate +1
+    step if none."""
+    rates = sorted(r for (c, r) in results if c == config)
+    base = results[(config, rates[0])]
+    for i, rate in enumerate(rates):
+        if all(results[(config, r)] > factor * base for r in rates[i:]):
+            return rate
+    return rates[-1] + (rates[-1] - rates[-2] if len(rates) > 1 else 1)
+
+
+def format_fig9(results: Dict[Tuple[str, int], float]) -> str:
+    """Render the results as a paper-style text table."""
+    from repro.metrics.ascii_plot import line_plot
+
+    rates = sorted({r for (_, r) in results})
+    configs = [c for c in FIG9_CONFIGS if any(k[0] == c for k in results)]
+    rows = []
+    for name in configs:
+        rows.append([name] + [f"{results.get((name, r), float('nan')):.2f}" for r in rates])
+    table = format_table(
+        ["Config"] + [f"{r}/s" for r in rates],
+        rows,
+        title="Fig. 9: Httperf average connection time (ms) vs request rate",
+    )
+    series = {name: [results[(name, r)] for r in rates] for name in configs}
+    plot = line_plot(series, height=8, y_label="avg connect ms", x_labels=[str(r) for r in rates])
+    return table + "\n\n" + plot

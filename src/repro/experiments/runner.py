@@ -1,0 +1,64 @@
+"""Shared measurement scaffolding for the per-figure experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.metrics.exits import ExitBreakdown, collect_breakdown
+from repro.metrics.tig import TigMeter
+from repro.units import MS
+
+__all__ = ["MeasuredRun", "measure_window", "DEFAULT_WARMUP_NS", "DEFAULT_MEASURE_NS"]
+
+DEFAULT_WARMUP_NS = 200 * MS
+DEFAULT_MEASURE_NS = 500 * MS
+
+
+@dataclass
+class MeasuredRun:
+    """The standard readout of one experiment run."""
+
+    config: str
+    exit_rates: ExitBreakdown
+    tig: float
+    throughput_gbps: float = 0.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_exit_rate(self) -> float:
+        """Total exits/second across all causes."""
+        return self.exit_rates.total
+
+
+def measure_window(
+    testbed,
+    workload=None,
+    warmup_ns: int = DEFAULT_WARMUP_NS,
+    measure_ns: int = DEFAULT_MEASURE_NS,
+    config_name: Optional[str] = None,
+) -> MeasuredRun:
+    """Run warm-up then a measurement window on the tested VM.
+
+    ``workload`` may expose ``mark()`` and ``throughput_gbps()`` (the
+    netperf workloads do); other workloads are measured by the caller
+    through their own counters.
+    """
+    vm = testbed.tested.vm
+    testbed.run_for(warmup_ns)
+    stats = vm.exit_stats
+    stats.mark("measure-start", testbed.sim.now)
+    tig = TigMeter(vm)
+    if workload is not None and hasattr(workload, "mark"):
+        workload.mark()
+    testbed.run_for(measure_ns)
+    stats.mark("measure-end", testbed.sim.now)
+    throughput = 0.0
+    if workload is not None and hasattr(workload, "throughput_gbps"):
+        throughput = workload.throughput_gbps()
+    return MeasuredRun(
+        config=config_name or vm.features.name,
+        exit_rates=collect_breakdown(stats, "measure-start", "measure-end"),
+        tig=tig.tig(),
+        throughput_gbps=throughput,
+    )

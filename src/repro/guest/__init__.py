@@ -1,0 +1,24 @@
+"""Guest operating-system model.
+
+The guest is a behavioural model, not a kernel: per-vCPU execution contexts
+feed the vCPU thread a stream of *guest operations* (compute, virtqueue
+kick, halt), dispatch interrupt vectors to handlers through the guest IDT,
+run NAPI receive processing in softirq context, and schedule guest tasks
+(applications and the lowest-priority CPU-burn script the paper uses to
+keep vCPUs runnable).
+"""
+
+from repro.guest.ops import GHalt, GKick, GWork
+from repro.guest.context import GuestCpuContext
+from repro.guest.os import GuestOS
+from repro.guest.tasks import GuestTask, CpuBurnTask
+
+__all__ = [
+    "GWork",
+    "GKick",
+    "GHalt",
+    "GuestCpuContext",
+    "GuestOS",
+    "GuestTask",
+    "CpuBurnTask",
+]

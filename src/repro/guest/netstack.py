@@ -1,0 +1,79 @@
+"""The guest's network stack: flow registry, TX helpers, RX dispatch.
+
+Flows (windowed TCP streams, UDP streams, request/response services)
+register here by flow id; the NAPI receive path dispatches each packet to
+its flow's ``guest_rx_ops`` generator, which runs in softirq context on the
+vCPU that took the interrupt.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, TYPE_CHECKING
+
+from repro.errors import GuestError
+from repro.guest.ops import GWork
+from repro.guest.tasks import GuestTask, TaskBlock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.guest.os import GuestOS
+    from repro.virtio.frontend import VirtioNetDriver
+
+__all__ = ["GuestNetstack"]
+
+#: cost of demuxing + dropping a packet with no socket
+_DROP_NS = 300
+
+
+class GuestNetstack:
+    """Socket-layer glue between guest tasks/flows and the virtio driver."""
+
+    def __init__(self, os: "GuestOS", driver: "VirtioNetDriver"):
+        self.os = os
+        self.driver = driver
+        self.sim = os.vm.machine.sim
+        self.cost = os.vm.machine.cost
+        driver.rx_sink = self._rx_ops
+        driver.device.txq.space_callback = self._on_tx_space
+        self._flows: Dict[str, object] = {}
+        self._tx_space_waiters: List[GuestTask] = []
+        self.rx_dropped = 0
+
+    # ----------------------------------------------------------------- flows
+    def register_flow(self, flow_id: str, flow) -> None:
+        """Register a flow object under its flow id."""
+        if flow_id in self._flows:
+            raise GuestError(f"flow {flow_id} already registered")
+        self._flows[flow_id] = flow
+
+    def flow(self, flow_id: str):
+        """Look up a registered flow by id."""
+        return self._flows[flow_id]
+
+    # ------------------------------------------------------------ RX dispatch
+    def _rx_ops(self, packet, context):
+        flow = self._flows.get(packet.flow)
+        if flow is None:
+            self.rx_dropped += 1
+            yield GWork(_DROP_NS)
+            return
+        yield from flow.guest_rx_ops(packet, context)
+
+    # ------------------------------------------------------------- TX helpers
+    def xmit_from_task_ops(self, task: GuestTask, packet, tx_cost_ns: int):
+        """Transmit from task context, blocking on TX-ring space."""
+        while True:
+            ok = yield from self.driver.xmit_ops(packet, tx_cost_ns)
+            if ok:
+                return
+            self._tx_space_waiters.append(task)
+            yield TaskBlock()
+
+    def xmit_nonblocking_ops(self, packet, tx_cost_ns: int):
+        """Transmit from softirq context; returns False if the ring is full."""
+        ok = yield from self.driver.xmit_ops(packet, tx_cost_ns)
+        return ok
+
+    def _on_tx_space(self) -> None:
+        waiters, self._tx_space_waiters = self._tx_space_waiters, []
+        for task in waiters:
+            task.wake_task()

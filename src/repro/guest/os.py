@@ -1,0 +1,90 @@
+"""The guest OS: IDT dispatch, per-vCPU contexts, device driver registry."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, TYPE_CHECKING
+
+from repro.errors import GuestCrash, GuestError
+from repro.guest.context import GuestCpuContext
+from repro.guest.ops import GWork
+from repro.guest.tasks import GuestTask
+from repro.kvm.idt import LOCAL_TIMER_VECTOR, RESCHEDULE_VECTOR, is_device_vector
+from repro.units import us
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kvm.vm import VirtualMachine
+
+__all__ = ["GuestOS"]
+
+#: CPU cost of the guest's timer tick handler.
+_TIMER_HANDLER_NS = us(1.5)
+
+
+class GuestOS:
+    """Behavioural guest kernel for one VM.
+
+    Installs a :class:`GuestCpuContext` on every vCPU, dispatches interrupt
+    vectors to registered handlers (device drivers register per-vector
+    handler factories), and hosts guest tasks.
+    """
+
+    def __init__(self, vm: "VirtualMachine"):
+        if vm.guest_os is not None:
+            raise GuestError(f"{vm.name} already has a guest OS")
+        vm.guest_os = self
+        self.vm = vm
+        self.contexts: List[GuestCpuContext] = [GuestCpuContext(self, v) for v in vm.vcpus]
+        #: vector -> handler factory ``fn(context) -> ops generator``
+        self._irq_handlers: Dict[int, Callable] = {}
+        self.timer_ticks = 0
+        self.resched_ipis = 0
+
+    # ------------------------------------------------------------------ IRQs
+    def register_irq_handler(self, vector: int, factory: Callable) -> None:
+        """Install a per-vector hard-IRQ handler factory."""
+        if vector in self._irq_handlers:
+            raise GuestError(f"vector {vector:#x} already has a handler")
+        self._irq_handlers[vector] = factory
+
+    def dispatch_irq(self, vector: int, context: GuestCpuContext):
+        """IDT dispatch: return the hard-IRQ handler ops for ``vector``."""
+        if vector == LOCAL_TIMER_VECTOR:
+            return self._timer_handler_ops(context)
+        if vector == RESCHEDULE_VECTOR:
+            return self._resched_handler_ops(context)
+        factory = self._irq_handlers.get(vector)
+        if factory is None:
+            if is_device_vector(vector):
+                raise GuestError(f"{self.vm.name}: no driver for device vector {vector:#x}")
+            raise GuestCrash(
+                f"{self.vm.name}: per-CPU vector {vector:#x} arrived at "
+                f"{context.vcpu.name} with no handler — misdelivered interrupt"
+            )
+        return factory(context)
+
+    def _timer_handler_ops(self, context: GuestCpuContext):
+        self.timer_ticks += 1
+        context.on_timer_tick()
+        yield GWork(_TIMER_HANDLER_NS)
+
+    def _resched_handler_ops(self, context: GuestCpuContext):
+        # The wake that motivated the IPI already ran; the handler is just
+        # the scheduler poke.
+        self.resched_ipis += 1
+        yield GWork(self.vm.machine.cost.guest_resched_ipi_ns)
+
+    # ----------------------------------------------------------------- tasks
+    def add_task(self, task: GuestTask, vcpu_index: int) -> GuestTask:
+        """Bind a guest task to a vCPU's runqueue."""
+        if not 0 <= vcpu_index < len(self.contexts):
+            raise GuestError(f"no vCPU {vcpu_index} in {self.vm.name}")
+        self.contexts[vcpu_index].add_task(task)
+        return task
+
+    def add_task_per_vcpu(self, factory: Callable[[int], GuestTask]) -> List[GuestTask]:
+        """Add one task per vCPU (e.g. the CPU-burn script on each)."""
+        return [self.add_task(factory(i), i) for i in range(len(self.contexts))]
+
+    def context(self, vcpu_index: int) -> GuestCpuContext:
+        """The guest context of one vCPU."""
+        return self.contexts[vcpu_index]

@@ -1,0 +1,19 @@
+"""Hardware model: cores, machine topology, Local-APICs, MSI, NIC/link."""
+
+from repro.hw.core import Core
+from repro.hw.lapic import LocalApic, IPI_KIND_PI_NOTIFY, IPI_KIND_KICK
+from repro.hw.machine import Machine
+from repro.hw.msi import MsiMessage, DeliveryMode
+from repro.hw.nic import Link, Nic
+
+__all__ = [
+    "Core",
+    "Machine",
+    "LocalApic",
+    "IPI_KIND_PI_NOTIFY",
+    "IPI_KIND_KICK",
+    "MsiMessage",
+    "DeliveryMode",
+    "Link",
+    "Nic",
+]

@@ -1,0 +1,278 @@
+"""A physical CPU core: the dispatch engine.
+
+The core owns a CFS runqueue and drives thread generators.  Three things can
+end a CPU segment before its scheduled completion:
+
+* **preemption** (scheduler tick slice expiry or wakeup preemption) — the
+  in-flight request keeps its remaining time and continues at the next
+  dispatch; the thread's generator never observes it;
+* **poke** (interrupt delivery to an interruptible segment) — the generator
+  is resumed *now* with the time actually consumed, so interrupt latency is
+  exact rather than quantized to segment boundaries;
+* **block/finish** from the thread itself.
+
+All bookkeeping funnels through :meth:`_sync_current_runtime`, which charges
+elapsed time to the thread, its accounting mode, and its CFS vruntime.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.errors import SchedulerError
+from repro.sched.cfs import CfsRunqueue
+from repro.sched.thread import Block, Consume, CpuMode, Thread, ThreadState, YieldCPU
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.machine import Machine
+
+__all__ = ["Core"]
+
+_MAX_SYNC_STEPS = 100_000
+
+
+class Core:
+    """One physical core of the simulated host."""
+
+    def __init__(self, machine: "Machine", index: int):
+        self.machine = machine
+        self.sim = machine.sim
+        self.index = index
+        self.rq = CfsRunqueue(machine.sched_params)
+        self.current: Optional[Thread] = None
+        self.prev_thread: Optional[Thread] = None
+        self.lapic = None  # installed by the machine
+        self.need_resched = False
+        self._switching = False
+        self._completion_ev = None
+        self._segment_started = 0
+        self._dispatch_time = 0
+        #: cumulative core time per accounting mode
+        self.mode_time = {mode: 0 for mode in CpuMode}
+        self.ctx_switches = 0
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def is_idle(self) -> bool:
+        """True when nothing runs or waits on this core."""
+        return self.current is None and not self._switching and len(self.rq) == 0
+
+    def busy_time(self) -> int:
+        """Total non-idle nanoseconds accumulated by this core."""
+        return sum(v for m, v in self.mode_time.items() if m is not CpuMode.IDLE)
+
+    def utilization(self, elapsed: int) -> float:
+        """Fraction of ``elapsed`` ns this core spent non-idle."""
+        if elapsed <= 0:
+            return 0.0
+        return self.busy_time() / elapsed
+
+    # ------------------------------------------------------------- queue API
+    def enqueue(self, thread: Thread, wakeup: bool) -> None:
+        """Place a runnable thread on this core's runqueue."""
+        thread.core = self
+        self.rq.enqueue(thread, wakeup)
+        if self._switching:
+            return  # dispatch decision already committed; revisit at next tick
+        if self.current is None:
+            self._reschedule()
+            return
+        if wakeup:
+            self._sync_current_runtime()
+            if self.rq.should_preempt_on_wakeup(self.current, thread):
+                self._request_resched()
+
+    def _request_resched(self) -> None:
+        """Preempt now if safe, else flag for the next engine boundary."""
+        if self._completion_ev is not None:
+            self.preempt_current()
+        else:
+            # We are inside the current thread's synchronous advance; the
+            # flag is honoured before its next segment starts.
+            self.need_resched = True
+
+    # ------------------------------------------------------------ scheduling
+    def _reschedule(self) -> None:
+        if self.current is not None:
+            raise SchedulerError("reschedule with a thread still on the CPU")
+        nxt = self.rq.pick_next()
+        if nxt is None:
+            return  # idle
+        self._switching = True
+        cost = self.machine.cost.ctx_switch_ns
+        self.ctx_switches += 1
+        self.mode_time[CpuMode.SWITCH] += cost
+        self.sim.schedule(cost, self._complete_switch, nxt)
+
+    def _complete_switch(self, thread: Thread) -> None:
+        self._switching = False
+        if not thread.runnable and thread.state is not ThreadState.READY:
+            # The thread vanished (finished) while we were switching; rare.
+            self._reschedule()
+            return
+        self.current = thread
+        thread.core = self
+        thread.state = ThreadState.RUNNING
+        self._dispatch_time = self.sim.now
+        if thread.is_vcpu:
+            self.machine.notifiers.fire_sched_in(thread, self)
+        thread.on_sched_in(self)
+        self._run_current()
+
+    def _stop_current(self, new_state: ThreadState) -> Thread:
+        """Take the current thread off the CPU (shared by preempt/block/finish)."""
+        t = self.current
+        if t is None:
+            raise SchedulerError("no current thread to stop")
+        if self._completion_ev is not None:
+            self.sim.cancel(self._completion_ev)
+            self._completion_ev = None
+        self._sync_current_runtime()
+        self.current = None
+        self.prev_thread = t
+        t.state = new_state
+        t.on_sched_out(self)
+        if t.is_vcpu:
+            self.machine.notifiers.fire_sched_out(t, self)
+        return t
+
+    def preempt_current(self) -> None:
+        """Involuntarily requeue the running thread and pick another."""
+        self.need_resched = False
+        t = self._stop_current(ThreadState.READY)
+        self.rq.enqueue(t, wakeup=False)
+        self._reschedule()
+
+    def on_tick(self) -> None:
+        """Scheduler tick: charge the current thread and check slice expiry."""
+        if self.current is None or self._completion_ev is None:
+            return
+        self._sync_current_runtime()
+        ran = self.sim.now - self._dispatch_time
+        if self.rq.should_preempt_on_tick(self.current, ran):
+            self.preempt_current()
+
+    # -------------------------------------------------------- segment engine
+    def _run_current(self) -> None:
+        t = self.current
+        req = t._request
+        if req is not None:
+            if req.interruptible and t._poke_pending:
+                # A poke arrived while the thread was preempted: complete the
+                # segment early so the interrupt is seen at dispatch time.
+                t._poke_pending = False
+                t._request = None
+                t._resume_value = req.consumed
+            elif req.remaining > 0:
+                self._start_segment(req)
+                return
+            else:
+                # A zero-remaining leftover request: complete it now.
+                t._request = None
+                t._resume_value = req.consumed
+        self._advance(t)
+
+    def _advance(self, t: Thread) -> None:
+        """Resume the thread generator until it issues a real CPU request."""
+        for _ in range(_MAX_SYNC_STEPS):
+            try:
+                req = t._gen.send(t._resume_value)
+            except StopIteration:
+                self._finish_current()
+                return
+            t._resume_value = None
+            if isinstance(req, Consume):
+                if req.interruptible and t._poke_pending:
+                    # A poke raced ahead of the yield: deliver immediately.
+                    t._poke_pending = False
+                    t._resume_value = 0
+                    continue
+                if req.remaining == 0:
+                    t._resume_value = 0
+                    continue
+                t._request = req
+                self._start_segment(req)
+                return
+            if isinstance(req, Block):
+                if t._wake_pending:
+                    t._wake_pending = False
+                    continue
+                self._stop_current(ThreadState.BLOCKED)
+                self._reschedule()
+                return
+            if isinstance(req, YieldCPU):
+                if len(self.rq):
+                    self.need_resched = False
+                    stopped = self._stop_current(ThreadState.READY)
+                    self.rq.enqueue(stopped, wakeup=False)
+                    self._reschedule()
+                    return
+                continue
+            raise SchedulerError(f"{t.name} yielded unknown request {req!r}")
+        raise SchedulerError(f"{t.name} made {_MAX_SYNC_STEPS} zero-time requests; livelock?")
+
+    def _start_segment(self, req: Consume) -> None:
+        if self.need_resched and len(self.rq):
+            self.need_resched = False
+            self.preempt_current()
+            return
+        self.need_resched = False
+        self._segment_started = self.sim.now
+        self._completion_ev = self.sim.schedule(req.remaining, self._on_segment_complete)
+
+    def _on_segment_complete(self) -> None:
+        self._completion_ev = None
+        self._sync_current_runtime()
+        t = self.current
+        req = t._request
+        if req.remaining != 0:
+            raise SchedulerError("segment completed with time remaining")
+        t._request = None
+        t._resume_value = req.consumed
+        self._advance(t)
+
+    def poke_current(self) -> None:
+        """End the current interruptible segment *now* (interrupt delivery)."""
+        t = self.current
+        if t is None or t._request is None or self._completion_ev is None:
+            raise SchedulerError("poke with no interruptible segment in flight")
+        self.sim.cancel(self._completion_ev)
+        self._completion_ev = None
+        self._sync_current_runtime()
+        req = t._request
+        t._request = None
+        t._poke_pending = False
+        t._resume_value = req.consumed
+        self._advance(t)
+
+    def _finish_current(self) -> None:
+        self._stop_current(ThreadState.FINISHED)
+        self._reschedule()
+
+    def _sync_current_runtime(self) -> None:
+        t = self.current
+        if t is None or t._request is None:
+            return
+        elapsed = self.sim.now - self._segment_started
+        if elapsed <= 0:
+            return
+        req = t._request
+        if elapsed > req.remaining:
+            raise SchedulerError("segment overran its scheduled completion")
+        req.remaining -= elapsed
+        req.consumed += elapsed
+        t.account(req.mode, elapsed)
+        self.mode_time[req.mode] += elapsed
+        self.rq.update_curr(t, elapsed)
+        self._segment_started = self.sim.now
+
+    # ------------------------------------------------------------------ IPIs
+    def on_ipi(self, vector: int, kind: str) -> None:
+        """An IPI arrived at this core; hand it to the running thread if any."""
+        t = self.current
+        if t is not None and hasattr(t, "on_host_ipi"):
+            t.on_host_ipi(vector, kind)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        cur = self.current.name if self.current else "idle"
+        return f"<Core {self.index} running={cur} rq={len(self.rq)}>"

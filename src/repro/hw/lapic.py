@@ -1,0 +1,51 @@
+"""Physical Local-APIC model.
+
+Only the slice of the Local-APIC that the event path exercises is modelled:
+inter-processor interrupts with a flight latency, plus per-core delivery
+statistics.  Two IPI kinds matter to the virtual I/O event path:
+
+* ``IPI_KIND_KICK`` — the hypervisor's reschedule kick used by the emulated
+  APIC path.  Arriving at a core in guest mode it forces an
+  *External Interrupt* VM exit (the "second VM exit" of Fig. 1).
+* ``IPI_KIND_PI_NOTIFY`` — the posted-interrupt notification vector.
+  Arriving at a core in guest mode it triggers the hardware PIR→vIRR sync
+  of Fig. 2 (step 3) **without** a VM exit.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.core import Core
+
+__all__ = ["LocalApic", "IPI_KIND_KICK", "IPI_KIND_PI_NOTIFY"]
+
+IPI_KIND_KICK = "kick"
+IPI_KIND_PI_NOTIFY = "pi-notify"
+
+#: Vector KVM uses for its reschedule kick (x86 RESCHEDULE_VECTOR area).
+KICK_VECTOR = 0xFD
+#: Posted-interrupt notification vector (POSTED_INTR_VECTOR on Linux).
+POSTED_INTR_VECTOR = 0xF2
+
+
+class LocalApic:
+    """Per-core physical Local-APIC (IPI mailbox + statistics)."""
+
+    def __init__(self, core: "Core"):
+        self.core = core
+        self.sim = core.sim
+        self.ipis_sent = 0
+        self.ipis_received = 0
+
+    def send_ipi(self, target: "Core", vector: int, kind: str) -> None:
+        """Send an IPI to ``target``; it lands after the flight latency."""
+        self.ipis_sent += 1
+        flight = self.core.machine.cost.ipi_flight_ns
+        self.sim.schedule(flight, self._deliver, target, vector, kind)
+
+    @staticmethod
+    def _deliver(target: "Core", vector: int, kind: str) -> None:
+        target.lapic.ipis_received += 1
+        target.on_ipi(vector, kind)

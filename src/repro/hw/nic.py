@@ -1,0 +1,90 @@
+"""Physical NIC and point-to-point link model.
+
+The paper's testbed is two servers connected back-to-back with 40GbE NICs.
+The link model enforces per-direction serialization (store-and-forward at
+the line rate) plus a fixed propagation/NIC-pipeline latency.  Endpoints
+register a receive callback; anything with such a callback (a
+:class:`~repro.hw.machine.Machine` NIC or a bare-metal traffic generator)
+can terminate a link.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import HardwareError
+from repro.units import transmit_time_ns, us
+
+__all__ = ["Nic", "Link"]
+
+
+class Nic:
+    """A network interface: a named attachment point with an RX handler."""
+
+    def __init__(self, sim, name: str):
+        self.sim = sim
+        self.name = name
+        self.link: Optional["Link"] = None
+        self._rx_handler: Optional[Callable] = None
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.rx_packets = 0
+        self.rx_bytes = 0
+
+    def set_rx_handler(self, fn: Callable) -> None:
+        """Install the function called with each received packet."""
+        self._rx_handler = fn
+
+    def send(self, packet) -> None:
+        """Transmit one packet to the peer across the attached link."""
+        if self.link is None:
+            raise HardwareError(f"NIC {self.name} has no link attached")
+        self.tx_packets += 1
+        self.tx_bytes += packet.size
+        self.link.transmit(self, packet)
+
+    def receive(self, packet) -> None:
+        """Deliver an inbound packet to the registered RX handler."""
+        self.rx_packets += 1
+        self.rx_bytes += packet.size
+        if self._rx_handler is None:
+            raise HardwareError(f"NIC {self.name} received a packet with no RX handler")
+        self._rx_handler(packet)
+
+
+class Link:
+    """Full-duplex point-to-point link between exactly two NICs."""
+
+    def __init__(self, sim, a: Nic, b: Nic, rate_gbps: float = 40.0, propagation_ns: int = us(1)):
+        if rate_gbps <= 0:
+            raise HardwareError("link rate must be positive")
+        self.sim = sim
+        self.rate_gbps = rate_gbps
+        self.propagation_ns = propagation_ns
+        self.ends = (a, b)
+        a.link = self
+        b.link = self
+        # Per-direction time at which the transmitter becomes free.
+        self._busy_until = {a: 0, b: 0}
+
+    def peer_of(self, nic: Nic) -> Nic:
+        """The NIC at the other end of this link."""
+        a, b = self.ends
+        if nic is a:
+            return b
+        if nic is b:
+            return a
+        raise HardwareError("NIC is not attached to this link")
+
+    def transmit(self, src: Nic, packet) -> None:
+        """Serialize ``packet`` out of ``src`` and deliver it to the peer."""
+        peer = self.peer_of(src)
+        start = max(self.sim.now, self._busy_until[src])
+        finish = start + transmit_time_ns(packet.size, self.rate_gbps)
+        self._busy_until[src] = finish
+        arrival = finish + self.propagation_ns
+        self.sim.at(arrival, peer.receive, packet)
+
+    def queued_delay(self, src: Nic) -> int:
+        """Current serialization backlog out of ``src`` (ns)."""
+        return max(0, self._busy_until[src] - self.sim.now)

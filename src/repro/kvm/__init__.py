@@ -1,0 +1,38 @@
+"""Hypervisor model: VMs, vCPUs, VM exits, virtual interrupt machinery.
+
+This package models the KVM slice that the paper's event path crosses:
+
+* the VM-exit state machine with per-cause statistics (``perf kvm stat``);
+* the software-emulated Local-APIC used by the Baseline configuration
+  (IPI kick → External-Interrupt exit → inject-on-entry → EOI trap);
+* the hardware vAPIC page + posted-interrupt descriptor used by the PI
+  configurations (PIR posting, notification vector, sync-on-entry,
+  virtualized EOI — Fig. 2);
+* MSI interrupt routing with the ``kvm_set_msi_irq`` interception point that
+  ES2's intelligent redirection hooks (Section V-C).
+"""
+
+from repro.kvm.exits import ExitReason, ExitStats, EXIT_CATEGORY
+from repro.kvm.idt import VectorAllocator, is_device_vector, LOCAL_TIMER_VECTOR
+from repro.kvm.apic_emul import EmulatedLapic
+from repro.kvm.vapic import PostedInterruptDescriptor, VApicPage
+from repro.kvm.vm import VirtualMachine
+from repro.kvm.vcpu import Vcpu
+from repro.kvm.hypervisor import Kvm
+from repro.kvm.routing import IrqRouter
+
+__all__ = [
+    "ExitReason",
+    "ExitStats",
+    "EXIT_CATEGORY",
+    "VectorAllocator",
+    "is_device_vector",
+    "LOCAL_TIMER_VECTOR",
+    "EmulatedLapic",
+    "PostedInterruptDescriptor",
+    "VApicPage",
+    "VirtualMachine",
+    "Vcpu",
+    "Kvm",
+    "IrqRouter",
+]

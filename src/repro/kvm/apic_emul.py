@@ -1,0 +1,87 @@
+"""Software-emulated per-vCPU Local-APIC (the Baseline interrupt path).
+
+Keeps IRR (pending) and ISR (in-service) state like a real Local-APIC:
+delivery moves the highest-priority IRR bit to ISR; the guest's EOI write
+— which traps to the hypervisor as an APIC-access exit — clears the highest
+ISR bit and allows the next pending interrupt to be injected.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.errors import HypervisorError
+
+__all__ = ["EmulatedLapic"]
+
+
+class EmulatedLapic:
+    """Emulated Local-APIC interrupt state for one vCPU."""
+
+    def __init__(self, vcpu_name: str = "?"):
+        self.vcpu_name = vcpu_name
+        self.irr: Set[int] = set()
+        self.isr: Set[int] = set()
+        self.set_irq_count = 0
+        self.eoi_count = 0
+
+    # --------------------------------------------------------------- pending
+    def set_irq(self, vector: int) -> bool:
+        """Latch a pending interrupt.  Returns False if it was already pending
+        (interrupt coalescing, exactly like a real IRR bit)."""
+        if not 0 <= vector <= 0xFF:
+            raise HypervisorError(f"vector out of range: {vector}")
+        self.set_irq_count += 1
+        if vector in self.irr:
+            return False
+        self.irr.add(vector)
+        return True
+
+    def has_pending(self) -> bool:
+        """True if any vector is latched pending."""
+        return bool(self.irr)
+
+    def highest_pending(self) -> Optional[int]:
+        """Highest-priority (numerically largest) pending vector."""
+        if not self.irr:
+            return None
+        return max(self.irr)
+
+    # -------------------------------------------------------------- delivery
+    def can_inject(self) -> bool:
+        """An interrupt may be injected if one is pending and no equal/higher
+        priority interrupt is currently in service."""
+        vec = self.highest_pending()
+        if vec is None:
+            return False
+        if self.isr and max(self.isr) >= vec:
+            return False
+        return True
+
+    def inject(self) -> int:
+        """Deliver the highest pending vector: IRR -> ISR."""
+        if not self.can_inject():
+            raise HypervisorError(f"{self.vcpu_name}: inject() with nothing injectable")
+        vec = self.highest_pending()
+        self.irr.discard(vec)
+        self.isr.add(vec)
+        return vec
+
+    # ------------------------------------------------------------ completion
+    def eoi(self) -> Optional[int]:
+        """End-of-interrupt: clear the highest in-service vector."""
+        self.eoi_count += 1
+        if not self.isr:
+            return None  # spurious EOI, harmless like real hardware
+        vec = max(self.isr)
+        self.isr.discard(vec)
+        return vec
+
+    def in_service(self) -> Set[int]:
+        """Copy of the in-service vector set."""
+        return set(self.isr)
+
+    def reset(self) -> None:
+        """Clear all interrupt state."""
+        self.irr.clear()
+        self.isr.clear()

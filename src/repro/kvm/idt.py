@@ -1,0 +1,66 @@
+"""Guest IDT vector allocation, Linux-style.
+
+Linux allocates external-device vectors from a fixed range and keeps
+system vectors (local timer, IPIs, spurious) at the top of the table.  ES2
+exploits exactly this "strict interrupt vector allocation strategy"
+(Section V-C) to distinguish device interrupts — which may be redirected —
+from per-vCPU interrupts such as the timer, which must not be.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GuestError
+
+__all__ = [
+    "FIRST_DEVICE_VECTOR",
+    "LAST_DEVICE_VECTOR",
+    "LOCAL_TIMER_VECTOR",
+    "RESCHEDULE_VECTOR",
+    "SPURIOUS_VECTOR",
+    "is_device_vector",
+    "VectorAllocator",
+]
+
+#: Linux FIRST_EXTERNAL_VECTOR (0x20) + legacy ISA offset; device IRQs live here.
+FIRST_DEVICE_VECTOR = 0x23
+#: Last vector handed to devices before the system-vector block begins.
+LAST_DEVICE_VECTOR = 0xEB
+#: Linux LOCAL_TIMER_VECTOR — per-CPU, never a device vector.
+LOCAL_TIMER_VECTOR = 0xEC
+#: Linux RESCHEDULE_VECTOR (guest-internal IPI).
+RESCHEDULE_VECTOR = 0xFD
+#: Spurious-interrupt vector.
+SPURIOUS_VECTOR = 0xFF
+
+
+def is_device_vector(vector: int) -> bool:
+    """ES2's device/system discrimination by vector range (Section V-C)."""
+    return FIRST_DEVICE_VECTOR <= vector <= LAST_DEVICE_VECTOR
+
+
+class VectorAllocator:
+    """Allocates guest IDT vectors for devices, like Linux's vector domain."""
+
+    def __init__(self) -> None:
+        self._next = FIRST_DEVICE_VECTOR
+        self._allocated = {}
+
+    def allocate(self, owner: str) -> int:
+        """Allocate the next free device vector for ``owner``."""
+        if self._next > LAST_DEVICE_VECTOR:
+            raise GuestError("guest IDT device-vector space exhausted")
+        vector = self._next
+        self._next += 1
+        self._allocated[vector] = owner
+        return vector
+
+    def owner_of(self, vector: int) -> str:
+        """Name of the device a vector was allocated to."""
+        try:
+            return self._allocated[vector]
+        except KeyError:
+            raise GuestError(f"vector {vector:#x} was never allocated") from None
+
+    def allocated(self):
+        """Copy of the vector->owner allocation map."""
+        return dict(self._allocated)

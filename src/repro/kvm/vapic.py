@@ -1,0 +1,116 @@
+"""Hardware virtual-APIC page and posted-interrupt descriptor (Fig. 2).
+
+With posted interrupts the hypervisor never touches the interrupt state of
+a running vCPU.  It *posts* the vector into the vCPU's PI descriptor
+(``PIR`` bits + outstanding-notification flag) and sends the special
+notification IPI; hardware moves PIR bits into the virtual IRR of the
+vAPIC page and delivers from there without a VM exit.  The EOI write is
+likewise virtualized against the vAPIC page.
+
+For a vCPU that is not in guest mode the posted bits simply wait in the
+PIR and are synchronized into the vIRR at the next VM entry — which is the
+scheduling-latency gap (Section III-B) that ES2's intelligent redirection
+attacks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.errors import HypervisorError
+
+__all__ = ["PostedInterruptDescriptor", "VApicPage"]
+
+
+class PostedInterruptDescriptor:
+    """The 64-byte PI descriptor: PIR bitmap + outstanding notification."""
+
+    def __init__(self) -> None:
+        self.pir: Set[int] = set()
+        #: outstanding-notification bit: a notify IPI is already in flight,
+        #: so further posts need not send another one.
+        self.on_bit = False
+        self.posts = 0
+
+    def post(self, vector: int) -> bool:
+        """Post a vector; returns True if a notification should be sent
+        (i.e. the ON bit was clear)."""
+        if not 0 <= vector <= 0xFF:
+            raise HypervisorError(f"vector out of range: {vector}")
+        self.posts += 1
+        self.pir.add(vector)
+        if self.on_bit:
+            return False
+        self.on_bit = True
+        return True
+
+    def drain(self) -> Set[int]:
+        """Atomically take all posted vectors and clear ON."""
+        vectors, self.pir = self.pir, set()
+        self.on_bit = False
+        return vectors
+
+    def has_pending(self) -> bool:
+        """True if any vector is latched pending."""
+        return bool(self.pir)
+
+
+class VApicPage:
+    """Per-vCPU hardware virtual-APIC page (vIRR/vISR + virtual EOI)."""
+
+    def __init__(self, vcpu_name: str = "?"):
+        self.vcpu_name = vcpu_name
+        self.pi_desc = PostedInterruptDescriptor()
+        self.virr: Set[int] = set()
+        self.visr: Set[int] = set()
+        self.virtual_eois = 0
+        self.syncs = 0
+
+    # ----------------------------------------------------------------- sync
+    def sync_pir_to_virr(self) -> int:
+        """Hardware PIR→vIRR synchronization (Fig. 2, step 3).  Returns the
+        number of vectors moved."""
+        vectors = self.pi_desc.drain()
+        self.syncs += 1
+        before = len(self.virr)
+        self.virr |= vectors
+        return len(self.virr) - before
+
+    # ------------------------------------------------------------- delivery
+    def has_deliverable(self) -> bool:
+        """True if a pending vector may be delivered now."""
+        vec = self.highest_pending()
+        if vec is None:
+            return False
+        if self.visr and max(self.visr) >= vec:
+            return False
+        return True
+
+    def highest_pending(self) -> Optional[int]:
+        """Highest-priority pending vector, or None."""
+        if not self.virr:
+            return None
+        return max(self.virr)
+
+    def deliver(self) -> int:
+        """Move the highest vIRR vector into service (non-exit delivery)."""
+        if not self.has_deliverable():
+            raise HypervisorError(f"{self.vcpu_name}: deliver() with nothing deliverable")
+        vec = self.highest_pending()
+        self.virr.discard(vec)
+        self.visr.add(vec)
+        return vec
+
+    # ----------------------------------------------------------- completion
+    def eoi(self) -> Optional[int]:
+        """Virtualized EOI (Fig. 2, step 5): no VM exit."""
+        self.virtual_eois += 1
+        if not self.visr:
+            return None
+        vec = max(self.visr)
+        self.visr.discard(vec)
+        return vec
+
+    def any_pending(self) -> bool:
+        """Anything pending in either PIR or vIRR (wake condition for HLT)."""
+        return bool(self.virr) or self.pi_desc.has_pending()

@@ -1,0 +1,93 @@
+"""A virtual machine: vCPUs, devices, MSI routes, exit statistics."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.config import FeatureSet
+from repro.errors import HypervisorError
+from repro.hw.msi import MsiMessage
+from repro.kvm.exits import ExitStats
+from repro.kvm.idt import VectorAllocator
+from repro.kvm.vcpu import Vcpu
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kvm.hypervisor import Kvm
+
+__all__ = ["VirtualMachine"]
+
+
+class VirtualMachine:
+    """One guest VM under the hypervisor."""
+
+    def __init__(
+        self,
+        kvm: "Kvm",
+        name: str,
+        n_vcpus: int,
+        features: FeatureSet,
+        vcpu_pinning: Optional[List[Optional[int]]] = None,
+    ):
+        if n_vcpus <= 0:
+            raise HypervisorError("a VM needs at least one vCPU")
+        if vcpu_pinning is not None and len(vcpu_pinning) != n_vcpus:
+            raise HypervisorError("vcpu_pinning length must match n_vcpus")
+        self.kvm = kvm
+        self.machine = kvm.machine
+        self.name = name
+        self.features = features
+        self.exit_stats = ExitStats()
+        self.vector_allocator = VectorAllocator()
+        self.vcpus: List[Vcpu] = [
+            Vcpu(self, i, pinned_core=(vcpu_pinning[i] if vcpu_pinning else None))
+            for i in range(n_vcpus)
+        ]
+        #: MSI routing table: route id -> message (devices register here)
+        self.msi_routes: Dict[int, MsiMessage] = {}
+        self._next_route = 0
+        self.devices: list = []
+        self.guest_os = None  # installed by GuestOS
+
+    # ---------------------------------------------------------------- wiring
+    def register_msi_route(self, msg: MsiMessage) -> int:
+        """Register an MSI message (a device's interrupt); returns a route id
+        the device uses to raise the interrupt (its irqfd)."""
+        route = self._next_route
+        self._next_route += 1
+        self.msi_routes[route] = msg
+        return route
+
+    def update_msi_route(self, route: int, msg: MsiMessage) -> None:
+        """Replace the message stored under an existing route id."""
+        if route not in self.msi_routes:
+            raise HypervisorError(f"unknown MSI route {route}")
+        self.msi_routes[route] = msg
+
+    def vcpu(self, index: int) -> Vcpu:
+        """The vCPU at the given index."""
+        return self.vcpus[index]
+
+    @property
+    def n_vcpus(self) -> int:
+        """Number of vCPUs in this VM."""
+        return len(self.vcpus)
+
+    # ------------------------------------------------------------- lifecycle
+    def boot(self) -> None:
+        """Start every vCPU thread (the guest must be installed first)."""
+        for vcpu in self.vcpus:
+            if vcpu.guest_ctx is None:
+                raise HypervisorError(f"{vcpu.name}: boot without a guest context")
+            self.machine.spawn(vcpu)
+
+    # ------------------------------------------------------------ accounting
+    def aggregate_tig(self) -> float:
+        """VM-wide time-in-guest over all vCPUs."""
+        guest = sum(v.guest_time for v in self.vcpus)
+        host = sum(v.host_time for v in self.vcpus)
+        if guest + host == 0:
+            return 0.0
+        return guest / (guest + host)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<VirtualMachine {self.name} vcpus={self.n_vcpus} {self.features.name}>"

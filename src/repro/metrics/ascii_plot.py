@@ -1,0 +1,92 @@
+"""Terminal-friendly series rendering (the figures are plots, after all).
+
+No plotting dependency is available offline, so the figure benchmarks
+render their series as unicode sparklines and simple scaled line plots —
+enough to eyeball the paper's shapes (the 18 ms RTT spikes of Fig. 7, the
+connection-time knee of Fig. 9) straight from the console.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["sparkline", "line_plot"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], lo: Optional[float] = None, hi: Optional[float] = None) -> str:
+    """Render a sequence as a one-line unicode sparkline."""
+    if not values:
+        return ""
+    lo = min(values) if lo is None else lo
+    hi = max(values) if hi is None else hi
+    span = hi - lo
+    if span <= 0:
+        return _BLOCKS[0] * len(values)
+    out = []
+    for v in values:
+        idx = int((v - lo) / span * (len(_BLOCKS) - 1))
+        out.append(_BLOCKS[max(0, min(idx, len(_BLOCKS) - 1))])
+    return "".join(out)
+
+
+def line_plot(
+    series: Dict[str, Sequence[float]],
+    height: int = 10,
+    y_label: str = "",
+    x_labels: Optional[Sequence[str]] = None,
+) -> str:
+    """Render one or more aligned series as a scaled multi-row plot.
+
+    Each series gets a marker (its name's first character); shared x
+    positions, a y-axis scaled to the global max, and optional x labels.
+    """
+    if not series:
+        return ""
+    lengths = {len(v) for v in series.values()}
+    if len(lengths) != 1:
+        raise ValueError("all series must have the same length")
+    n_points = lengths.pop()
+    if n_points == 0:
+        return ""
+    # Stretch each data point over a column wide enough for its x label.
+    col_width = 2
+    if x_labels:
+        col_width = max(col_width, max(len(str(l)) for l in x_labels) + 2)
+    width = n_points * col_width
+    all_values = [v for vs in series.values() for v in vs]
+    hi = max(all_values)
+    lo = min(0.0, min(all_values))
+    span = (hi - lo) or 1.0
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for name, vs in series.items():
+        marker = name.strip()[0] if name.strip() else "*"
+        for i, v in enumerate(vs):
+            x = i * col_width + col_width // 2
+            y = int((v - lo) / span * (height - 1))
+            row = height - 1 - max(0, min(y, height - 1))
+            cell = grid[row][x]
+            grid[row][x] = "+" if cell not in (" ", marker) else marker
+    lines = []
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{hi:.3g}"
+        elif i == height - 1:
+            label = f"{lo:.3g}"
+        else:
+            label = ""
+        lines.append(f"{label:>8} |" + "".join(row))
+    lines.append(" " * 8 + "+" + "-" * width)
+    if x_labels:
+        axis = [" "] * width
+        for i, lbl in enumerate(x_labels[:n_points]):
+            s = str(lbl)
+            start = i * col_width + max(0, (col_width - len(s)) // 2)
+            for j, ch in enumerate(s):
+                if start + j < width:
+                    axis[start + j] = ch
+        lines.append(" " * 9 + "".join(axis))
+    legend = "  ".join(f"{name.strip()[0]}={name}" for name in series)
+    lines.append(f"{'':8} {legend}" + (f"   [y: {y_label}]" if y_label else ""))
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Windowed VM-exit breakdowns (the ``perf kvm stat`` equivalent)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.kvm.exits import CATEGORIES, ExitStats
+
+__all__ = ["ExitBreakdown", "collect_breakdown"]
+
+
+@dataclass
+class ExitBreakdown:
+    """Per-category exit rates over a measurement window (exits/second)."""
+
+    interrupt_delivery: float
+    interrupt_completion: float
+    io_request: float
+    others: float
+
+    @property
+    def total(self) -> float:
+        """Sum over all categories/causes."""
+        return self.interrupt_delivery + self.interrupt_completion + self.io_request + self.others
+
+    def as_dict(self) -> Dict[str, float]:
+        """The breakdown as a plain category->rate mapping."""
+        return {
+            "interrupt-delivery": self.interrupt_delivery,
+            "interrupt-completion": self.interrupt_completion,
+            "io-request": self.io_request,
+            "others": self.others,
+        }
+
+    def percentages(self) -> Dict[str, float]:
+        """Table-I style percentage breakdown."""
+        total = self.total
+        if total == 0:
+            return {c: 0.0 for c in CATEGORIES}
+        return {k: 100.0 * v / total for k, v in self.as_dict().items()}
+
+
+def collect_breakdown(stats: ExitStats, start_mark: str, end_mark: str) -> ExitBreakdown:
+    """Fold an :class:`ExitStats` window into an :class:`ExitBreakdown`."""
+    rates = stats.rates_between(start_mark, end_mark)
+    return ExitBreakdown(
+        interrupt_delivery=rates["interrupt-delivery"],
+        interrupt_completion=rates["interrupt-completion"],
+        io_request=rates["io-request"],
+        others=rates["others"],
+    )

@@ -1,0 +1,43 @@
+"""Latency series collection and summary statistics."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.sim.stats import percentile_of_sorted
+
+__all__ = ["LatencySeries"]
+
+
+class LatencySeries:
+    """A series of latency samples in nanoseconds with ms-level readouts."""
+
+    def __init__(self, samples_ns: Iterable[int] = ()):
+        self.samples_ns: List[int] = list(samples_ns)
+
+    def add(self, ns: int) -> None:
+        """Record one observation."""
+        self.samples_ns.append(ns)
+
+    def __len__(self) -> int:
+        return len(self.samples_ns)
+
+    def mean_ms(self) -> float:
+        """Mean latency in milliseconds."""
+        if not self.samples_ns:
+            return 0.0
+        return sum(self.samples_ns) / len(self.samples_ns) / 1e6
+
+    def max_ms(self) -> float:
+        """Maximum latency in milliseconds."""
+        if not self.samples_ns:
+            return 0.0
+        return max(self.samples_ns) / 1e6
+
+    def percentile_ms(self, p: float) -> float:
+        """Interpolated percentile of the series, in milliseconds."""
+        return percentile_of_sorted(sorted(self.samples_ns), p) / 1e6
+
+    def series_ms(self) -> List[float]:
+        """All samples converted to milliseconds."""
+        return [s / 1e6 for s in self.samples_ns]

@@ -1,0 +1,47 @@
+"""Generic snapshot-based throughput measurement."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.units import throughput_gbps
+
+__all__ = ["ThroughputMeter"]
+
+
+class ThroughputMeter:
+    """Measures a byte counter's rate over a window.
+
+    ``counter_fn`` returns the cumulative byte count; :meth:`mark` starts
+    the window and :meth:`gbps`/:meth:`rate_per_sec` read it out.
+    """
+
+    def __init__(self, sim, counter_fn: Callable[[], float]):
+        self.sim = sim
+        self.counter_fn = counter_fn
+        self._count0 = counter_fn()
+        self._t0 = sim.now
+
+    def mark(self) -> None:
+        """Start (or restart) the measurement window at the current time."""
+        self._count0 = self.counter_fn()
+        self._t0 = self.sim.now
+
+    def delta(self) -> float:
+        """Counter increase since the last mark."""
+        return self.counter_fn() - self._count0
+
+    def elapsed_ns(self) -> int:
+        """Nanoseconds elapsed since the last mark."""
+        return self.sim.now - self._t0
+
+    def gbps(self) -> float:
+        """Average rate since the last mark, in gigabits/second."""
+        return throughput_gbps(self.delta(), self.elapsed_ns())
+
+    def rate_per_sec(self) -> float:
+        """Average rate since the last mark, per second."""
+        elapsed = self.elapsed_ns()
+        if elapsed <= 0:
+            return 0.0
+        return self.delta() * 1e9 / elapsed

@@ -1,0 +1,46 @@
+"""Time-in-guest measurement over a window (Section VI-C).
+
+TIG is the fraction of vCPU on-CPU time spent in guest (non-root) mode:
+``guest / (guest + host)`` summed over the vCPUs of a VM, computed between
+two snapshots so warm-up is excluded.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kvm.vm import VirtualMachine
+
+__all__ = ["TigMeter"]
+
+
+class TigMeter:
+    """Snapshot-based TIG measurement for one VM."""
+
+    def __init__(self, vm: "VirtualMachine"):
+        self.vm = vm
+        self._guest0 = 0
+        self._host0 = 0
+        self.mark()
+
+    def mark(self) -> None:
+        """Start (or restart) the measurement window."""
+        self._guest0 = sum(v.guest_time for v in self.vm.vcpus)
+        self._host0 = sum(v.host_time for v in self.vm.vcpus)
+
+    def guest_ns(self) -> int:
+        """Guest-mode nanoseconds accumulated in the window."""
+        return sum(v.guest_time for v in self.vm.vcpus) - self._guest0
+
+    def host_ns(self) -> int:
+        """Host-mode (exit handling) nanoseconds in the window."""
+        return sum(v.host_time for v in self.vm.vcpus) - self._host0
+
+    def tig(self) -> float:
+        """Time-in-guest fraction for the window so far."""
+        guest = self.guest_ns()
+        host = self.host_ns()
+        if guest + host == 0:
+            return 0.0
+        return guest / (guest + host)

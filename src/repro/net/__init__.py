@@ -1,0 +1,31 @@
+"""Network substrate: packets, host bridge, external endpoints, flows.
+
+TCP is modelled as a fixed-window byte stream with MSS segmentation and
+delayed ACKs (one per two segments) over a lossless back-to-back link —
+the regime of the paper's testbed.  The window/ACK clocking is what makes
+TCP load *fluctuate* (Fig. 4b) and what couples receive throughput to the
+guest's interrupt-processing latency (Fig. 6b).
+"""
+
+from repro.net.packet import Packet
+from repro.net.bridge import HostBridge
+from repro.net.endpoints import ExternalHost
+from repro.net.tcp import ExternalTcpSink, ExternalTcpSource, GuestTcpRxFlow, GuestTcpTxFlow
+from repro.net.udp import ExternalUdpSink, ExternalUdpSource, GuestUdpRxFlow, GuestUdpTxFlow
+from repro.net.ping import Pinger, GuestPingResponder
+
+__all__ = [
+    "Packet",
+    "HostBridge",
+    "ExternalHost",
+    "GuestTcpTxFlow",
+    "GuestTcpRxFlow",
+    "ExternalTcpSink",
+    "ExternalTcpSource",
+    "GuestUdpTxFlow",
+    "GuestUdpRxFlow",
+    "ExternalUdpSink",
+    "ExternalUdpSource",
+    "Pinger",
+    "GuestPingResponder",
+]

@@ -1,0 +1,51 @@
+"""The external bare-metal peer (the paper's traffic-generator server).
+
+The second testbed server runs no hypervisor, so its CPU is not a
+bottleneck in any of the paper's experiments; it is modelled as an event
+endpoint with a small fixed protocol-processing latency instead of a full
+machine — the substitution DESIGN.md documents.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.hw.nic import Nic
+from repro.units import us
+
+__all__ = ["ExternalHost"]
+
+
+class ExternalHost:
+    """Bare-metal endpoint terminating one side of the link."""
+
+    def __init__(self, sim, name: str = "peer", stack_delay_ns: int = us(3)):
+        self.sim = sim
+        self.name = name
+        self.nic = Nic(sim, f"{name}-nic")
+        self.nic.set_rx_handler(self._on_rx)
+        #: fixed kernel-stack latency applied to each reaction
+        self.stack_delay_ns = stack_delay_ns
+        self._flow_handlers: Dict[str, Callable] = {}
+        self.unroutable = 0
+
+    def register_flow(self, flow_id: str, handler: Callable) -> None:
+        """Install ``handler(packet)`` for packets of one flow."""
+        if flow_id in self._flow_handlers:
+            raise ValueError(f"flow {flow_id} already registered on {self.name}")
+        self._flow_handlers[flow_id] = handler
+
+    def _on_rx(self, packet) -> None:
+        handler = self._flow_handlers.get(packet.flow)
+        if handler is None:
+            self.unroutable += 1
+            return
+        handler(packet)
+
+    def send(self, packet, extra_delay_ns: int = 0) -> None:
+        """Transmit after the stack-processing latency."""
+        self.sim.schedule(self.stack_delay_ns + extra_delay_ns, self.nic.send, packet)
+
+    def send_now(self, packet) -> None:
+        """Transmit immediately, skipping the stack-processing latency."""
+        self.nic.send(packet)

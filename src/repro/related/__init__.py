@@ -1,0 +1,10 @@
+"""Related-work models the paper compares against (Section II-C).
+
+Currently: ELI/DID-style interrupt-processing deprivileging — exit-less
+interrupt delivery through the *physical* Local-APIC, with the
+virtualization-feature compromises the paper criticises made measurable.
+"""
+
+from repro.related.eli import EliController
+
+__all__ = ["EliController"]

@@ -1,0 +1,159 @@
+"""ELI/DID-style interrupt deprivileging (paper Section II-C).
+
+ELI clears the External-Interrupt-Exiting control and exposes the physical
+EOI register, so interrupt delivery and completion are exit-free — the
+same effect as posted interrupts.  The cost is that a vCPU's interrupt
+state lives in the **physical** Local-APIC of the core it occupies, which
+is exactly what breaks under CPU multiplexing (the paper's argument for
+PI):
+
+* *loss of interruptibility* — vCPU A is descheduled mid-handler (EOI not
+  yet written): the physical APIC believes an interrupt is still in
+  service, so the next vCPU B on that core cannot receive interrupts until
+  A runs again and EOIs;
+* *misdelivery* — vCPU A is descheduled with pending IRR bits: the
+  physical APIC delivers them to whatever vCPU runs next on the core,
+  possibly one from a different VM (which has no handler for the vector —
+  a :class:`~repro.errors.GuestCrash`).
+
+:class:`EliController` enforces the dedicated-core requirement by default
+(``strict=True``) and, when asked to allow multiplexing anyway, makes both
+hazards observable — the misbehaviour Section II-C describes, measured.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, TYPE_CHECKING
+
+from repro.errors import ConfigError
+from repro.sched.notifier import PreemptionNotifier
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kvm.hypervisor import Kvm
+    from repro.kvm.vcpu import Vcpu
+    from repro.kvm.vm import VirtualMachine
+
+__all__ = ["EliController"]
+
+
+class EliController:
+    """Exit-less interrupts via the physical Local-APIC, with its hazards.
+
+    ELI VMs must be created with ``FeatureSet(pi=True)`` — mechanically,
+    exit-free delivery and completion behave like the vAPIC page, because
+    both deprivilege the same two operations; what differs is where the
+    state lives.  The controller tracks the physical-APIC residency and
+    raises/records the multiplexing hazards.
+    """
+
+    def __init__(self, kvm: "Kvm", strict: bool = True):
+        self.kvm = kvm
+        self.strict = strict
+        self._eli_vms: Set[int] = set()
+        #: core index -> vCPU that left in-service state there (EOI pending)
+        self._blocked_cores: Dict[int, "Vcpu"] = {}
+        #: core index -> vectors stranded in the physical IRR by descheduling
+        self._stranded: Dict[int, Set[int]] = {}
+        self.interruptibility_loss_events = 0
+        self.lost_interrupts = 0
+        self.misdeliveries = 0
+        kvm.machine.notifiers.register(
+            PreemptionNotifier(self._sched_in, self._sched_out, name="eli")
+        )
+
+    # ----------------------------------------------------------------- setup
+    def enable(self, vm: "VirtualMachine") -> None:
+        """Turn on ELI for a VM.  In strict mode every vCPU must be pinned
+        to a core no other vCPU uses (the dedicated-core requirement)."""
+        if not vm.features.pi:
+            raise ConfigError(
+                "ELI VMs need FeatureSet(pi=True): exit-free delivery uses the "
+                "same deprivileged mechanics; only the state residency differs"
+            )
+        if self.strict:
+            self._check_dedicated_cores(vm)
+        self._eli_vms.add(id(vm))
+
+    def _check_dedicated_cores(self, vm: "VirtualMachine") -> None:
+        used_by_others: Set[Optional[int]] = set()
+        for other_vm in self.kvm.vms:
+            if other_vm is vm:
+                continue
+            for vcpu in other_vm.vcpus:
+                used_by_others.add(vcpu.pinned_core)
+        for vcpu in vm.vcpus:
+            if vcpu.pinned_core is None:
+                raise ConfigError(f"{vcpu.name}: ELI requires pinning to a dedicated core")
+            if vcpu.pinned_core in used_by_others:
+                raise ConfigError(
+                    f"{vcpu.name}: core {vcpu.pinned_core} is shared with another "
+                    f"VM — ELI cannot multiplex physical CPU cores (Section II-C)"
+                )
+        own = [v.pinned_core for v in vm.vcpus]
+        if len(set(own)) != len(own):
+            raise ConfigError(f"{vm.name}: ELI vCPUs cannot stack on one core")
+
+    def is_eli(self, vm: "VirtualMachine") -> bool:
+        """True if ELI is enabled for the VM."""
+        return id(vm) in self._eli_vms
+
+    # ------------------------------------------------------------- notifiers
+    def _sched_out(self, thread, core) -> None:
+        if id(thread.vm) not in self._eli_vms:
+            return
+        vapic = thread.vapic
+        # Hazard 1: descheduled mid-handler — the physical APIC still has
+        # the vector in service; the core is blocked for everyone else.
+        if vapic.visr:
+            self._blocked_cores[core.index] = thread
+            self.interruptibility_loss_events += 1
+        # Hazard 2: pending vectors stay latched in the physical IRR.
+        pending = set(vapic.virr) | set(vapic.pi_desc.pir)
+        if pending:
+            self._stranded.setdefault(core.index, set()).update(pending)
+            vapic.virr.clear()
+            vapic.pi_desc.drain()
+
+    def _sched_in(self, thread, core) -> None:
+        owner = self._blocked_cores.get(core.index)
+        if owner is thread:
+            # The interrupted vCPU is back: it will EOI and unblock the core.
+            del self._blocked_cores[core.index]
+        stranded = self._stranded.pop(core.index, None)
+        if not stranded:
+            return
+        if id(thread.vm) not in self._eli_vms:
+            # The physical APIC fires the stranded vectors at a thread that
+            # cannot handle them; they are simply lost to the original VM.
+            self.lost_interrupts += len(stranded)
+            return
+        # Misdelivery: the stranded vectors land on whichever vCPU runs
+        # next on this core (possibly from another VM — its guest will
+        # crash on the unknown vector when it dispatches).
+        for vector in stranded:
+            self.misdeliveries += 1
+            thread.vapic.pi_desc.post(vector)
+            thread._poke_pending = True
+            thread.vapic.sync_pir_to_virr()
+
+    # -------------------------------------------------------------- delivery
+    def core_blocked(self, core_index: int) -> bool:
+        """Whether a core's physical APIC is wedged by an unfinished EOI."""
+        return core_index in self._blocked_cores
+
+    def deliver(self, vcpu: "Vcpu", vector: int) -> bool:
+        """Deliver a device interrupt to an ELI vCPU.
+
+        Returns False (interrupt lost to the VM for now) when the target
+        vCPU's core is blocked by another vCPU's unfinished interrupt —
+        the interruptibility loss of Section II-C.
+        """
+        core_index = vcpu.pinned_core if vcpu.pinned_core is not None else (
+            vcpu.core.index if vcpu.core else 0
+        )
+        blocked_by = self._blocked_cores.get(core_index)
+        if blocked_by is not None and blocked_by is not vcpu:
+            self.lost_interrupts += 1
+            return False
+        self.kvm.deliver_vcpu_interrupt(vcpu, vector)
+        return True

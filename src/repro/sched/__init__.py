@@ -1,0 +1,27 @@
+"""Host scheduling: threads, per-core CFS runqueues, preemption notifiers.
+
+The execution model is cooperative generators with *exact preemption*:
+thread bodies are generator coroutines yielding :class:`~repro.sched.thread.Consume`
+(CPU time), :class:`~repro.sched.thread.Block`, or :class:`~repro.sched.thread.YieldCPU`
+requests.  A CPU segment in flight can be interrupted at any instant —
+either by the scheduler (tick/wakeup preemption, transparent to the thread)
+or by an interrupt poke (the thread is resumed early with the amount of CPU
+actually consumed).  This gives microsecond-exact interrupt latency without
+chopping work into tiny events.
+"""
+
+from repro.sched.thread import Block, Consume, CpuMode, Thread, YieldCPU
+from repro.sched.cfs import CfsRunqueue, nice_to_weight
+from repro.sched.notifier import PreemptionNotifier, NotifierSet
+
+__all__ = [
+    "Thread",
+    "Consume",
+    "Block",
+    "YieldCPU",
+    "CpuMode",
+    "CfsRunqueue",
+    "nice_to_weight",
+    "PreemptionNotifier",
+    "NotifierSet",
+]

@@ -1,0 +1,166 @@
+"""A Completely-Fair-Scheduler model (per-core runqueue).
+
+This reproduces the CFS behaviours that matter for the paper:
+
+* weighted virtual runtime; the leftmost (minimum vruntime) task runs next;
+* a scheduling period of ``max(sched_latency, nr_running * min_granularity)``
+  divided into weight-proportional slices — with four vCPU threads sharing a
+  core (the paper's micro/macro setup) each gets a ~6 ms slice, which is the
+  origin of the up-to-18 ms ping RTTs in Fig. 7;
+* wakeup preemption with ``wakeup_granularity`` hysteresis;
+* sleeper credit on wakeup (GENTLE_FAIR_SLEEPERS) so I/O-bound tasks
+  preempt CPU hogs promptly.
+
+vCPU threads are deliberately indistinguishable from other threads here —
+exactly the property (Section V-B) that forces ES2 to use preemption
+notifiers rather than scheduler modifications.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.config import SchedParams
+from repro.errors import SchedulerError
+from repro.sched.thread import Thread, ThreadState
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+__all__ = ["CfsRunqueue", "nice_to_weight", "NICE_0_WEIGHT"]
+
+#: Linux ``sched_prio_to_weight`` table, nice -20 .. +19.
+_PRIO_TO_WEIGHT = [
+    88761, 71755, 56483, 46273, 36291,
+    29154, 23254, 18705, 14949, 11916,
+    9548, 7620, 6100, 4904, 3906,
+    3121, 2501, 1991, 1586, 1277,
+    1024, 820, 655, 526, 423,
+    335, 272, 215, 172, 137,
+    110, 87, 70, 56, 45,
+    36, 29, 23, 18, 15,
+]
+
+NICE_0_WEIGHT = 1024
+
+
+def nice_to_weight(nice: int) -> int:
+    """CFS load weight for a nice level in [-20, 19]."""
+    if not -20 <= nice <= 19:
+        raise SchedulerError(f"nice level out of range: {nice}")
+    return _PRIO_TO_WEIGHT[nice + 20]
+
+
+class CfsRunqueue:
+    """Runnable queue for one core.  The *current* thread is tracked by the
+    core itself; this queue holds only threads waiting for the CPU."""
+
+    def __init__(self, params: SchedParams):
+        self.params = params
+        self.queue: List[Thread] = []
+        self.min_vruntime = 0
+        #: total weight of queued threads (excluding current)
+        self.queued_weight = 0
+
+    # ------------------------------------------------------------- queue ops
+    def __len__(self) -> int:
+        return len(self.queue)
+
+    def enqueue(self, thread: Thread, wakeup: bool) -> None:
+        """Add a runnable thread; apply sleeper placement if it just woke."""
+        if thread in self.queue:
+            raise SchedulerError(f"{thread.name} enqueued twice")
+        if wakeup:
+            # Sleeper credit: a woken task is placed at most half a latency
+            # period behind min_vruntime so it preempts hogs promptly but
+            # cannot starve them by hoarding credit while asleep.
+            bonus = self.params.sleeper_bonus_ns // 2
+            thread.vruntime = max(thread.vruntime, self.min_vruntime - bonus)
+        else:
+            thread.vruntime = max(thread.vruntime, self.min_vruntime)
+        self.queue.append(thread)
+        self.queued_weight += thread.weight
+        thread.state = ThreadState.READY
+
+    def dequeue(self, thread: Thread) -> None:
+        """Remove a thread from the runnable queue."""
+        try:
+            self.queue.remove(thread)
+        except ValueError:
+            raise SchedulerError(f"{thread.name} not on this runqueue") from None
+        self.queued_weight -= thread.weight
+
+    def pick_next(self) -> Optional[Thread]:
+        """Remove and return the leftmost (minimum-vruntime) thread."""
+        if not self.queue:
+            return None
+        best = min(self.queue, key=lambda t: (t.vruntime, t.tid))
+        self.dequeue(best)
+        return best
+
+    def leftmost_vruntime(self) -> Optional[int]:
+        """Smallest vruntime among queued threads (None if empty)."""
+        if not self.queue:
+            return None
+        return min(t.vruntime for t in self.queue)
+
+    # ----------------------------------------------------------- accounting
+    def update_curr(self, thread: Thread, delta_ns: int) -> None:
+        """Advance the running thread's vruntime by a weighted ``delta_ns``."""
+        if delta_ns < 0:
+            raise SchedulerError("negative runtime delta")
+        thread.vruntime += delta_ns * NICE_0_WEIGHT // thread.weight
+        self._advance_min_vruntime(thread)
+
+    def _advance_min_vruntime(self, current: Optional[Thread]) -> None:
+        candidates = []
+        if current is not None:
+            candidates.append(current.vruntime)
+        left = self.leftmost_vruntime()
+        if left is not None:
+            candidates.append(left)
+        if candidates:
+            self.min_vruntime = max(self.min_vruntime, min(candidates))
+
+    # --------------------------------------------------------------- policy
+    def nr_running(self, current: Optional[Thread]) -> int:
+        """Runnable thread count including the current one."""
+        return len(self.queue) + (1 if current is not None else 0)
+
+    def total_weight(self, current: Optional[Thread]) -> int:
+        """Total CFS load weight including the current thread."""
+        return self.queued_weight + (current.weight if current is not None else 0)
+
+    def sched_slice(self, thread: Thread, current: Optional[Thread]) -> int:
+        """The slice ``thread`` is entitled to in the current period."""
+        nr = self.nr_running(current)
+        if thread is not current and thread not in self.queue:
+            nr += 1
+        period = self.params.sched_latency_ns
+        lat_tasks = max(1, self.params.sched_latency_ns // self.params.min_granularity_ns)
+        if nr > lat_tasks:
+            period = nr * self.params.min_granularity_ns
+        total = self.total_weight(current)
+        if thread is not current and thread not in self.queue:
+            total += thread.weight
+        if total <= 0:
+            return period
+        return max(self.params.min_granularity_ns, period * thread.weight // total)
+
+    def should_preempt_on_tick(self, current: Thread, ran_ns: int) -> bool:
+        """Slice-expiry check performed from the scheduler tick."""
+        if not self.queue:
+            return False
+        if ran_ns > self.sched_slice(current, current):
+            return True
+        # Don't let a far-ahead current run below a waiting leftmost task.
+        left = self.leftmost_vruntime()
+        if left is not None and ran_ns > self.params.min_granularity_ns:
+            if current.vruntime - left > self.sched_slice(current, current) * NICE_0_WEIGHT // current.weight:
+                return True
+        return False
+
+    def should_preempt_on_wakeup(self, current: Thread, woken: Thread) -> bool:
+        """Wakeup-preemption check (``check_preempt_wakeup``)."""
+        gran = self.params.wakeup_granularity_ns * NICE_0_WEIGHT // woken.weight
+        return current.vruntime - woken.vruntime > gran

@@ -1,0 +1,59 @@
+"""Preemption notifiers — the ``kvm_sched_in`` / ``kvm_sched_out`` hooks.
+
+From the scheduler's point of view a vCPU thread is an ordinary thread
+(Section V-B), so ES2 cannot observe vCPU scheduling by instrumenting CFS.
+KVM instead registers *preemption notifiers* on its vCPU threads; the core
+engine fires them when a thread flagged ``is_vcpu`` is dispatched onto or
+removed from a core.  ES2's scheduling-status tracker subscribes here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+__all__ = ["PreemptionNotifier", "NotifierSet"]
+
+
+class PreemptionNotifier:
+    """A pair of callbacks mirroring KVM's preemption notifier ops."""
+
+    def __init__(
+        self,
+        sched_in: Callable[[object, object], None],
+        sched_out: Callable[[object, object], None],
+        name: str = "",
+    ):
+        self.sched_in = sched_in
+        self.sched_out = sched_out
+        self.name = name or f"notifier@{id(self):x}"
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<PreemptionNotifier {self.name}>"
+
+
+class NotifierSet:
+    """Registry of preemption notifiers fired for vCPU threads."""
+
+    def __init__(self) -> None:
+        self._notifiers: List[PreemptionNotifier] = []
+
+    def register(self, notifier: PreemptionNotifier) -> None:
+        """Add a notifier to the set."""
+        self._notifiers.append(notifier)
+
+    def unregister(self, notifier: PreemptionNotifier) -> None:
+        """Remove a notifier from the set."""
+        self._notifiers.remove(notifier)
+
+    def fire_sched_in(self, thread, core) -> None:
+        """Invoke every notifier's sched-in callback."""
+        for n in self._notifiers:
+            n.sched_in(thread, core)
+
+    def fire_sched_out(self, thread, core) -> None:
+        """Invoke every notifier's sched-out callback."""
+        for n in self._notifiers:
+            n.sched_out(thread, core)
+
+    def __len__(self) -> int:
+        return len(self._notifiers)

@@ -1,0 +1,51 @@
+"""Wakeup core selection.
+
+Mirrors the relevant slice of ``select_task_rq_fair``: pinned threads go to
+their core; otherwise prefer the previous core if idle (cache affinity),
+then any idle core, then the least-loaded runqueue.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import SchedulerError
+from repro.sched.thread import Thread
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.machine import Machine
+
+__all__ = ["Placement"]
+
+
+class Placement:
+    """Chooses the core a woken thread is enqueued on."""
+
+    def __init__(self, machine: "Machine"):
+        self.machine = machine
+
+    def enqueue_woken(self, thread: Thread) -> None:
+        """Select a core for a woken thread and enqueue it there."""
+        core = self.select_core(thread)
+        core.enqueue(thread, wakeup=True)
+
+    def select_core(self, thread: Thread):
+        """Pick the core a woken thread should run on."""
+        cores = self.machine.cores
+        if thread.pinned_core is not None:
+            if not 0 <= thread.pinned_core < len(cores):
+                raise SchedulerError(
+                    f"{thread.name} pinned to nonexistent core {thread.pinned_core}"
+                )
+            return cores[thread.pinned_core]
+        # Cache affinity: previous core if idle.
+        prev = thread.core
+        if prev is not None and prev.is_idle:
+            return prev
+        idle = [c for c in cores if c.is_idle]
+        if idle:
+            return idle[0]
+        return min(
+            cores,
+            key=lambda c: (c.rq.nr_running(c.current), c.rq.total_weight(c.current), c.index),
+        )

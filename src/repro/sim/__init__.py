@@ -1,0 +1,30 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic DES core: an event heap keyed by (time, sequence),
+cancellable events, a simulator clock in integer nanoseconds, named seeded
+RNG streams, online statistics, and an optional structured trace recorder.
+"""
+
+from repro.sim.event import Event, EventQueue
+from repro.sim.simulator import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.stats import (
+    Histogram,
+    IntervalRate,
+    RunningStat,
+    TimeWeightedMean,
+)
+from repro.sim.trace import NullTracer, TraceRecorder
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "RngRegistry",
+    "RunningStat",
+    "Histogram",
+    "TimeWeightedMean",
+    "IntervalRate",
+    "TraceRecorder",
+    "NullTracer",
+]

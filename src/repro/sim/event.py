@@ -1,0 +1,127 @@
+"""Event objects and the pending-event priority queue.
+
+Events are ordered by ``(time, seq)`` where ``seq`` is a monotonically
+increasing insertion counter; two events scheduled for the same instant fire
+in the order they were scheduled.  Cancellation is O(1): a cancelled event
+stays in the heap but is skipped when popped (lazy deletion), which is the
+standard approach for simulators with frequent cancellation (we cancel CPU
+segment-completion events on every preemption and interrupt poke).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SimulationError
+
+__all__ = ["Event", "EventQueue"]
+
+
+class Event:
+    """A scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Absolute simulation time (integer ns) at which the event fires.
+    fn:
+        Callback invoked as ``fn(*args)`` when the event fires.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "_cancelled", "_fired")
+
+    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self._cancelled = False
+        self._fired = False
+
+    # Heap ordering -------------------------------------------------------
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    # State ---------------------------------------------------------------
+    @property
+    def cancelled(self) -> bool:
+        """True if :meth:`cancel` was called before the event fired."""
+        return self._cancelled
+
+    @property
+    def fired(self) -> bool:
+        """True once the callback has been invoked."""
+        return self._fired
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is scheduled and may still fire."""
+        return not (self._cancelled or self._fired)
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent; a no-op after firing."""
+        if not self._fired:
+            self._cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else ("fired" if self._fired else "pending")
+        return f"<Event t={self.time} seq={self.seq} {state} fn={getattr(self.fn, '__qualname__', self.fn)!r}>"
+
+
+class EventQueue:
+    """Priority queue of :class:`Event` with lazy cancellation."""
+
+    __slots__ = ("_heap", "_seq", "_live")
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of *live* (non-cancelled, unfired) events."""
+        return self._live
+
+    def push(self, time: int, fn: Callable[..., Any], args: tuple = ()) -> Event:
+        """Schedule ``fn(*args)`` at absolute time ``time`` and return the event."""
+        ev = Event(time, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        self._live += 1
+        return ev
+
+    def note_cancelled(self) -> None:
+        """Bookkeeping hook: caller cancelled one live event."""
+        if self._live <= 0:
+            raise SimulationError("cancelled more events than were live")
+        self._live -= 1
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the next live event, or None if the queue is empty."""
+        self._drop_dead()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next live event, or None if empty."""
+        self._drop_dead()
+        if not self._heap:
+            return None
+        ev = heapq.heappop(self._heap)
+        ev._fired = True
+        self._live -= 1
+        return ev
+
+    def _drop_dead(self) -> None:
+        heap = self._heap
+        while heap and heap[0]._cancelled:
+            heapq.heappop(heap)
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._live = 0

@@ -1,0 +1,112 @@
+"""The simulator clock and run loop."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.event import Event, EventQueue
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import NullTracer, TraceRecorder
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for all named RNG streams (see :class:`RngRegistry`).
+    trace:
+        Optional :class:`TraceRecorder`; defaults to a no-op tracer.
+
+    The clock is integer nanoseconds, starting at 0.  Events scheduled for
+    the same instant fire in scheduling order, which makes runs reproducible
+    from ``(code, seed)`` alone.
+    """
+
+    def __init__(self, seed: int = 0, trace: Optional[TraceRecorder] = None) -> None:
+        self.now: int = 0
+        self.queue = EventQueue()
+        self.rng = RngRegistry(seed)
+        self.trace = trace if trace is not None else NullTracer()
+        self._running = False
+        self._events_fired = 0
+
+    # ----------------------------------------------------------------- API
+    @property
+    def events_fired(self) -> int:
+        """Total number of events executed so far (statistics/debugging)."""
+        return self._events_fired
+
+    def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` ns from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.queue.push(self.now + int(delay), fn, args)
+
+    def at(self, time: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute time ``time`` ns."""
+        if time < self.now:
+            raise SimulationError(f"cannot schedule into the past (t={time} < now={self.now})")
+        return self.queue.push(int(time), fn, args)
+
+    def call_soon(self, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at the current instant, after pending same-time events."""
+        return self.queue.push(self.now, fn, args)
+
+    def cancel(self, event: Event) -> bool:
+        """Cancel a pending event.  Returns True if it was still pending."""
+        if event.pending:
+            event.cancel()
+            self.queue.note_cancelled()
+            return True
+        return False
+
+    # ------------------------------------------------------------ run loop
+    def step(self) -> bool:
+        """Execute the next event.  Returns False when no events remain."""
+        ev = self.queue.pop()
+        if ev is None:
+            return False
+        if ev.time < self.now:
+            raise SimulationError("event heap yielded an event in the past")
+        self.now = ev.time
+        self._events_fired += 1
+        ev.fn(*ev.args)
+        return True
+
+    def run_until(self, time: int) -> None:
+        """Run events up to and including absolute time ``time``.
+
+        The clock is left at ``time`` even if the queue drains earlier.
+        """
+        if time < self.now:
+            raise SimulationError(f"run_until({time}) is in the past (now={self.now})")
+        self._running = True
+        try:
+            while True:
+                nxt = self.queue.peek_time()
+                if nxt is None or nxt > time:
+                    break
+                self.step()
+        finally:
+            self._running = False
+        self.now = max(self.now, time)
+
+    def run_for(self, duration: int) -> None:
+        """Run events for ``duration`` ns of simulated time."""
+        self.run_until(self.now + int(duration))
+
+    def run_until_empty(self, max_events: int = 10_000_000) -> None:
+        """Drain the event queue (bounded by ``max_events`` as a safety net)."""
+        self._running = True
+        try:
+            for _ in range(max_events):
+                if not self.step():
+                    return
+        finally:
+            self._running = False
+        raise SimulationError(f"event queue did not drain within {max_events} events")

@@ -1,0 +1,237 @@
+"""Online statistics used by the measurement layer.
+
+These are deliberately dependency-light (no numpy in the hot path): the
+simulator records per-event observations at high rates, so each ``add`` must
+be a handful of arithmetic operations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["RunningStat", "Histogram", "TimeWeightedMean", "IntervalRate"]
+
+
+class RunningStat:
+    """Welford online mean/variance with min/max tracking."""
+
+    __slots__ = ("count", "_mean", "_m2", "min", "max", "total")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.total = 0.0
+
+    def add(self, x: float) -> None:
+        """Fold one observation into the statistic."""
+        self.count += 1
+        self.total += x
+        delta = x - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (x - self._mean)
+        if self.min is None or x < self.min:
+            self.min = x
+        if self.max is None or x > self.max:
+            self.max = x
+
+    def extend(self, xs: Iterable[float]) -> None:
+        """Record a batch of observations."""
+        for x in xs:
+            self.add(x)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations so far."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (ddof=1); 0 for fewer than two observations."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stdev(self) -> float:
+        """Sample standard deviation of the observations so far."""
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "RunningStat") -> None:
+        """Fold another statistic into this one (parallel Welford merge)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.min, self.max, self.total = other.min, other.max, other.total
+            return
+        n1, n2 = self.count, other.count
+        delta = other._mean - self._mean
+        n = n1 + n2
+        self._mean += delta * n2 / n
+        self._m2 += other._m2 + delta * delta * n1 * n2 / n
+        self.count = n
+        self.total += other.total
+        self.min = min(self.min, other.min)  # type: ignore[type-var]
+        self.max = max(self.max, other.max)  # type: ignore[type-var]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"RunningStat(n={self.count}, mean={self.mean:.3g}, sd={self.stdev:.3g})"
+
+
+class Histogram:
+    """Sample-retaining histogram with exact percentiles.
+
+    Retains raw samples up to ``max_samples`` then switches to reservoir
+    sampling, so memory stays bounded for long runs while percentiles stay
+    statistically representative.
+    """
+
+    def __init__(self, max_samples: int = 100_000, rng=None) -> None:
+        self._samples: List[float] = []
+        self._max = max_samples
+        self._seen = 0
+        self._rng = rng
+        self.stat = RunningStat()
+
+    def add(self, x: float) -> None:
+        """Record one observation."""
+        self.stat.add(x)
+        self._seen += 1
+        if len(self._samples) < self._max:
+            self._samples.append(x)
+        else:
+            # Reservoir sampling keeps a uniform subsample.
+            if self._rng is None:
+                import random
+
+                self._rng = random.Random(0xE52)
+            j = self._rng.randrange(self._seen)
+            if j < self._max:
+                self._samples[j] = x
+
+    @property
+    def count(self) -> int:
+        """Number of observations recorded so far."""
+        return self._seen
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations so far."""
+        return self.stat.mean
+
+    @property
+    def max(self) -> Optional[float]:
+        """Largest observation so far (None when empty)."""
+        return self.stat.max
+
+    @property
+    def min(self) -> Optional[float]:
+        """Smallest observation so far (None when empty)."""
+        return self.stat.min
+
+    def percentile(self, p: float) -> float:
+        """Linear-interpolated percentile ``p`` in [0, 100] of the retained samples."""
+        if not self._samples:
+            return 0.0
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        xs = sorted(self._samples)
+        if len(xs) == 1:
+            return xs[0]
+        rank = (p / 100.0) * (len(xs) - 1)
+        lo = int(rank)
+        frac = rank - lo
+        if lo + 1 >= len(xs):
+            return xs[-1]
+        return xs[lo] * (1 - frac) + xs[lo + 1] * frac
+
+    def samples(self) -> Sequence[float]:
+        """The retained (possibly subsampled) raw observations."""
+        return tuple(self._samples)
+
+
+class TimeWeightedMean:
+    """Mean of a piecewise-constant signal, weighted by how long it held each value."""
+
+    __slots__ = ("_last_t", "_last_v", "_area", "_elapsed")
+
+    def __init__(self, t0: int = 0, v0: float = 0.0) -> None:
+        self._last_t = t0
+        self._last_v = v0
+        self._area = 0.0
+        self._elapsed = 0
+
+    def update(self, t: int, v: float) -> None:
+        """Signal changed to ``v`` at time ``t``."""
+        if t < self._last_t:
+            raise ValueError("time went backwards")
+        dt = t - self._last_t
+        self._area += self._last_v * dt
+        self._elapsed += dt
+        self._last_t = t
+        self._last_v = v
+
+    def mean(self, t: Optional[int] = None) -> float:
+        """Time-weighted mean up to ``t`` (defaults to the last update)."""
+        area, elapsed = self._area, self._elapsed
+        if t is not None:
+            if t < self._last_t:
+                raise ValueError("time went backwards")
+            area += self._last_v * (t - self._last_t)
+            elapsed += t - self._last_t
+        return area / elapsed if elapsed else 0.0
+
+
+class IntervalRate:
+    """Event counter that can report per-second rates over sub-intervals.
+
+    Records cumulative counts at named marks so experiments can exclude
+    warm-up, matching how the paper reports steady-state exit rates.
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._marks: Dict[str, tuple] = {}
+        self._times: List[int] = []
+
+    def add(self, n: int = 1) -> None:
+        """Record one observation."""
+        self.count += n
+
+    def mark(self, name: str, t: int) -> None:
+        """Snapshot the cumulative count at time ``t`` under ``name``."""
+        self._marks[name] = (t, self.count)
+
+    def rate_between(self, start_mark: str, end_mark: str) -> float:
+        """Events/second between two marks."""
+        t0, c0 = self._marks[start_mark]
+        t1, c1 = self._marks[end_mark]
+        if t1 <= t0:
+            return 0.0
+        return (c1 - c0) * 1e9 / (t1 - t0)
+
+    def count_between(self, start_mark: str, end_mark: str) -> int:
+        """Observation count between two named marks."""
+        _, c0 = self._marks[start_mark]
+        _, c1 = self._marks[end_mark]
+        return c1 - c0
+
+
+def percentile_of_sorted(xs: Sequence[float], p: float) -> float:
+    """Percentile of an already-sorted sequence (linear interpolation)."""
+    if not xs:
+        return 0.0
+    if len(xs) == 1:
+        return xs[0]
+    rank = (p / 100.0) * (len(xs) - 1)
+    lo = int(rank)
+    frac = rank - lo
+    if lo + 1 >= len(xs):
+        return xs[-1]
+    return xs[lo] * (1 - frac) + xs[lo + 1] * frac

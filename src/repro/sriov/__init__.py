@@ -1,0 +1,26 @@
+"""SR-IOV / direct device assignment (paper Section VII).
+
+The paper discusses — but does not evaluate — applying ES2 to SR-IOV:
+a Virtual Function is assigned to the VM, so the *data* path (I/O requests)
+bypasses the hypervisor entirely, while the *interrupt* path still needs
+help:
+
+* **assigned (baseline)**: the VF's physical interrupt is handled by the
+  host and converted into a virtual interrupt through the emulated-APIC
+  path — delivery and EOI exits remain (Fig. 1's second and third exits);
+* **VT-d PI**: the VF's interrupt is posted directly into the vCPU's PI
+  descriptor without any hypervisor involvement — exit-free, like CPU-side
+  PI (Fig. 2);
+* **VT-d PI + intelligent redirection**: Section VII's proposal — VT-d PI
+  still stalls on descheduled vCPUs, so ES2's redirection applies
+  unchanged at the MSI-X routing layer.
+
+This package models the VF device and its guest driver; the experiment in
+:mod:`repro.experiments.sriov` evaluates the combination the paper leaves
+as future work.
+"""
+
+from repro.sriov.vf import VfDevice
+from repro.sriov.driver import VfDriver
+
+__all__ = ["VfDevice", "VfDriver"]

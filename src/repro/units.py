@@ -1,0 +1,86 @@
+"""Time and data units used throughout the simulator.
+
+All simulation time is kept as **integer nanoseconds** so that event ordering
+is exact and runs are bit-reproducible.  The constants here convert between
+human-friendly units and the internal representation.
+"""
+
+from __future__ import annotations
+
+# --- time ------------------------------------------------------------------
+NS: int = 1
+US: int = 1_000
+MS: int = 1_000_000
+SEC: int = 1_000_000_000
+
+
+def ns(value: float) -> int:
+    """Convert nanoseconds (possibly fractional) to integer ticks."""
+    return int(round(value))
+
+
+def us(value: float) -> int:
+    """Convert microseconds to integer nanosecond ticks."""
+    return int(round(value * US))
+
+
+def ms(value: float) -> int:
+    """Convert milliseconds to integer nanosecond ticks."""
+    return int(round(value * MS))
+
+
+def seconds(value: float) -> int:
+    """Convert seconds to integer nanosecond ticks."""
+    return int(round(value * SEC))
+
+
+def to_seconds(ticks: int) -> float:
+    """Convert integer nanosecond ticks back to floating-point seconds."""
+    return ticks / SEC
+
+
+def to_us(ticks: int) -> float:
+    """Convert integer nanosecond ticks back to floating-point microseconds."""
+    return ticks / US
+
+
+def to_ms(ticks: int) -> float:
+    """Convert integer nanosecond ticks back to floating-point milliseconds."""
+    return ticks / MS
+
+
+def rate_per_sec(count: float, elapsed_ticks: int) -> float:
+    """Events-per-second for ``count`` events over ``elapsed_ticks`` ns."""
+    if elapsed_ticks <= 0:
+        return 0.0
+    return count * SEC / elapsed_ticks
+
+
+# --- data ------------------------------------------------------------------
+BYTE: int = 1
+KB: int = 1_000
+MB: int = 1_000_000
+GB: int = 1_000_000_000
+KIB: int = 1024
+MIB: int = 1024 * 1024
+
+BITS_PER_BYTE: int = 8
+
+
+def gbps_to_bytes_per_ns(gbps: float) -> float:
+    """Convert a link rate in gigabits/second to bytes per nanosecond."""
+    return gbps / 8.0
+
+
+def transmit_time_ns(size_bytes: int, gbps: float) -> int:
+    """Serialization delay of ``size_bytes`` on a ``gbps`` link, in ns."""
+    if gbps <= 0:
+        raise ValueError("link rate must be positive")
+    return int(round(size_bytes * 8.0 / gbps))
+
+
+def throughput_gbps(size_bytes: float, elapsed_ticks: int) -> float:
+    """Average throughput in Gbit/s for ``size_bytes`` over ``elapsed_ticks`` ns."""
+    if elapsed_ticks <= 0:
+        return 0.0
+    return size_bytes * 8.0 / elapsed_ticks

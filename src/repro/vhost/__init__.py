@@ -1,0 +1,22 @@
+"""The in-kernel paravirtual backend (vhost-net).
+
+A :class:`VhostWorker` thread services per-virtqueue handlers.  The stock
+TX handler implements classic vhost notification-mode behaviour (suppress
+notifications while servicing, re-enable on drain); the ES2 hybrid handler
+implements Algorithm 1 — the quota-driven prompt switch between the
+exit-based notification mode and the non-exit polling mode.
+"""
+
+from repro.vhost.worker import VhostWorker
+from repro.vhost.handler import QueueHandler, RxHandler, StockTxHandler
+from repro.vhost.hybrid import HybridTxHandler
+from repro.vhost.net import VhostNet
+
+__all__ = [
+    "VhostWorker",
+    "QueueHandler",
+    "StockTxHandler",
+    "HybridTxHandler",
+    "RxHandler",
+    "VhostNet",
+]

@@ -1,0 +1,81 @@
+"""ES2 Hybrid I/O Handling — Algorithm 1 of the paper.
+
+The handler starts in notification mode (sleeping until a guest kick).
+Once scheduled, it *disables the guest's notification mechanism* and polls
+the virtqueue:
+
+* If the workload reaches the ``quota`` before the queue empties, the guest
+  is under high I/O load: the handler stays in polling mode — it requeues
+  itself behind its sibling handlers (to avoid starving them) **without**
+  re-enabling notifications, so subsequent guest I/O requests cost no exits.
+* If the queue drains with ``workload < quota``, the load is low: the
+  handler re-enables notifications and returns to the exit-based
+  notification mode.
+
+The quota is exposed as the ``poll_quota`` module parameter the paper adds
+to vhost-net (:class:`~repro.config.FeatureSet` carries it).
+"""
+
+from __future__ import annotations
+
+from repro.sched.thread import Consume, CpuMode
+from repro.vhost.handler import StockTxHandler
+
+__all__ = ["HybridTxHandler"]
+
+
+class HybridTxHandler(StockTxHandler):
+    """Quota-driven hybrid notification/polling TX handler."""
+
+    def __init__(self, worker, device, quota: int):
+        super().__init__(worker, device, weight=quota)
+        self.quota = quota
+        self.kick_wakeups = 0
+        #: rounds that hit the quota (stayed in polling mode)
+        self.quota_hits = 0
+        #: rounds that drained the queue (returned to notification mode)
+        self.drained = 0
+        #: total handler invocations
+        self.rounds = 0
+
+    def on_guest_kick(self) -> None:
+        """Entry into polling mode goes through ES2's handler-scheduling
+        layer (Algorithm 1, label 2: "waiting to be scheduled").  The
+        deferral batches the guest's exit-free follow-up publishes so the
+        first polling round sees the real offered load."""
+        self.kick_wakeups += 1
+        self.worker.activate_after(self, self.cost.poll_entry_delay_ns)
+
+    def run(self, worker):
+        """Service the queue for one round (generator; consumes worker CPU)."""
+        q = self.queue
+        self.rounds += 1
+        if not q.notify_suppressed:
+            # Algorithm 1 lines 8-10: enter polling mode.
+            q.suppress_notify()
+        workload = 0
+        while True:
+            pkt = q.pop()
+            if pkt is None:
+                break
+            yield Consume(self._tx_cost(pkt), CpuMode.KERNEL)
+            self.packets += 1
+            self.bytes += pkt.size
+            self.device.transmit_to_wire(pkt)
+            workload += 1
+            if workload >= self.quota:
+                # Algorithm 1 lines 15-17: high load — keep polling mode but
+                # wait for the next turn so siblings are not starved.
+                self.quota_hits += 1
+                worker.activate_delayed(self)
+                return
+        # Algorithm 1 line 19: low load — back to notification mode.
+        self.drained += 1
+        sim = self.worker.sim
+        if sim.trace.enabled:
+            sim.trace.record(sim.now, "mode-switch", handler=self.name, mode="notification")
+        q.enable_notify()
+        if not q.is_empty:
+            # Standard re-check race: the guest published concurrently.
+            q.suppress_notify()
+            worker.activate(self)

@@ -1,0 +1,48 @@
+"""vhost-net assembly: one worker + TX/RX handlers for a virtio-net device."""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.errors import VirtioError
+from repro.vhost.handler import RxHandler, StockTxHandler
+from repro.vhost.hybrid import HybridTxHandler
+from repro.vhost.worker import VhostWorker
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.virtio.device import VirtioNetDevice
+
+__all__ = ["VhostNet"]
+
+
+class VhostNet:
+    """The in-kernel backend for one virtio-net device.
+
+    Chooses the TX handler implementation from the VM's feature set: the
+    stock notification-mode handler, or ES2's hybrid handler (Algorithm 1)
+    when ``features.hybrid`` is on.
+    """
+
+    def __init__(self, device: "VirtioNetDevice", pinned_core: Optional[int] = None):
+        if device.vhost is not None:
+            raise VirtioError(f"{device.name} already has a vhost backend")
+        vm = device.vm
+        machine = vm.machine
+        self.device = device
+        self.worker = VhostWorker(machine, f"vhost-{device.name}", pinned_core=pinned_core)
+        features = vm.features
+        if features.hybrid:
+            self.tx_handler = HybridTxHandler(self.worker, device, quota=features.quota)
+        else:
+            self.tx_handler = StockTxHandler(self.worker, device, weight=features.vhost_weight)
+        self.rx_handler = RxHandler(
+            self.worker, device, weight=features.vhost_weight,
+            coalesce_ns=features.irq_coalesce_ns,
+        )
+        device.vhost = self
+        machine.spawn(self.worker)
+
+    @property
+    def hybrid(self) -> bool:
+        """True when the TX handler implements Algorithm 1."""
+        return isinstance(self.tx_handler, HybridTxHandler)

@@ -1,0 +1,14 @@
+"""Paravirtual I/O: virtqueues, the virtio-net device, the guest driver.
+
+The virtqueue models the notification machinery that the event path turns
+on: the ``flags``/``avail_event`` fields the backend uses to suppress guest
+kicks (what Algorithm 1 manipulates to enter the non-exit polling mode) and
+the used-ring interrupt suppression the guest's NAPI uses to moderate
+receive interrupts.
+"""
+
+from repro.virtio.ring import Virtqueue
+from repro.virtio.device import VirtioNetDevice
+from repro.virtio.frontend import VirtioNetDriver
+
+__all__ = ["Virtqueue", "VirtioNetDevice", "VirtioNetDriver"]

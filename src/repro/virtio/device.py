@@ -1,0 +1,80 @@
+"""The virtio-net device: queue pair + host-side plumbing.
+
+The device owns the TX/RX virtqueues and the host-side *tap backlog* —
+packets that arrived from the wire and wait for the vhost worker to copy
+them into the guest RX ring (the tap device's queue in real vhost-net).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, TYPE_CHECKING
+
+from repro.errors import VirtioError
+from repro.virtio.ring import Virtqueue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kvm.vm import VirtualMachine
+
+__all__ = ["VirtioNetDevice"]
+
+
+class VirtioNetDevice:
+    """One paravirtual NIC of a VM (vhost-net backed)."""
+
+    def __init__(
+        self,
+        vm: "VirtualMachine",
+        name: str = "virtio-net",
+        queue_size: int = 256,
+        tap_backlog: int = 2048,
+    ):
+        self.vm = vm
+        self.machine = vm.machine
+        self.name = f"{vm.name}/{name}"
+        self.txq = Virtqueue(f"{self.name}/txq", queue_size)
+        self.rxq = Virtqueue(f"{self.name}/rxq", queue_size)
+        self.backlog: Deque[object] = deque()
+        self.backlog_capacity = tap_backlog
+        self.backlog_drops = 0
+        #: vhost backend (installed by VhostNet)
+        self.vhost = None
+        #: guest driver (installed by VirtioNetDriver)
+        self.driver = None
+        #: MSI route id for the RX interrupt (installed by the driver)
+        self.msi_route: Optional[int] = None
+        self.tx_wire_packets = 0
+        self.rx_interrupts_raised = 0
+        self.rx_interrupts_suppressed = 0
+        vm.devices.append(self)
+
+    # ------------------------------------------------------------- wire side
+    def transmit_to_wire(self, packet) -> None:
+        """Backend finished a TX packet: put it on the physical NIC."""
+        self.tx_wire_packets += 1
+        self.machine.nic.send(packet)
+
+    def enqueue_from_wire(self, packet) -> None:
+        """A packet for this VM arrived at the host NIC (tap ingress)."""
+        if len(self.backlog) >= self.backlog_capacity:
+            self.backlog_drops += 1
+            return
+        self.backlog.append(packet)
+        if self.vhost is not None:
+            self.vhost.rx_handler.on_wire_traffic()
+
+    # ------------------------------------------------------------ guest side
+    def raise_rx_interrupt(self) -> None:
+        """Signal the guest that used buffers were added to the RX ring."""
+        if not self.rxq.guest_wants_interrupt():
+            self.rx_interrupts_suppressed += 1
+            return
+        if self.msi_route is None:
+            raise VirtioError(f"{self.name}: RX interrupt with no MSI route (no driver?)")
+        self.rx_interrupts_raised += 1
+        self.vm.kvm.router.signal(self.vm, self.msi_route)
+
+    def on_guest_rx_pop(self) -> None:
+        """Guest NAPI freed RX descriptors; resume a stalled RX handler."""
+        if self.vhost is not None and self.backlog:
+            self.vhost.rx_handler.on_wire_traffic()

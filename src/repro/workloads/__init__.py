@@ -1,0 +1,30 @@
+"""Workload models: the benchmarks the paper evaluates with.
+
+* :mod:`repro.workloads.netperf` — TCP/UDP stream send & receive (VI-B/C/D)
+* :mod:`repro.workloads.ping` — ICMP RTT (VI-D)
+* :mod:`repro.workloads.memcached` — Memcached server + memaslap (VI-E)
+* :mod:`repro.workloads.apache` — Apache server + ApacheBench (VI-E)
+* :mod:`repro.workloads.httperf` — connection-time rate sweep (VI-E)
+"""
+
+from repro.workloads.netperf import (
+    NetperfTcpReceive,
+    NetperfTcpSend,
+    NetperfUdpReceive,
+    NetperfUdpSend,
+)
+from repro.workloads.ping import PingWorkload
+from repro.workloads.memcached import MemcachedWorkload
+from repro.workloads.apache import ApacheWorkload
+from repro.workloads.httperf import HttperfWorkload
+
+__all__ = [
+    "NetperfTcpSend",
+    "NetperfTcpReceive",
+    "NetperfUdpSend",
+    "NetperfUdpReceive",
+    "PingWorkload",
+    "MemcachedWorkload",
+    "ApacheWorkload",
+    "HttperfWorkload",
+]

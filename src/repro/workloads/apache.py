@@ -1,0 +1,68 @@
+"""Apache + ApacheBench (Fig. 8b).
+
+ApacheBench repeatedly requests an 8 KB static page from 16 concurrent
+threads (Section VI-E); the server runs one worker per vCPU.  Each 8 KB
+response is segmented into six MSS-sized packets, so this workload is much
+heavier on the TX event path per operation than Memcached.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.units import throughput_gbps, us
+from repro.workloads.rpc import ClosedLoopClient, GuestServiceFlow, ServerWorkerTask
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.testbed import Testbed, VmSetup
+
+__all__ = ["ApacheWorkload"]
+
+#: HTTP GET request on the wire
+_REQ_WIRE = 280
+#: static page size (Section VI-E)
+_PAGE_BYTES = 8 * 1024
+#: request parse + file cache lookup + headers
+_HTTP_SERVICE_NS = us(18)
+
+
+class ApacheWorkload:
+    """Apache server in the tested VM, ab as the external client."""
+
+    def __init__(self, testbed: "Testbed", vmset: "VmSetup", concurrency: int = 16):
+        self.testbed = testbed
+        self.vmset = vmset
+        n_vcpus = vmset.vm.n_vcpus
+        self.workers = []
+        for i in range(n_vcpus):
+            worker = ServerWorkerTask(f"apache-{i}", vmset.netstack, reply_to=testbed.external.name)
+            vmset.guest_os.add_task(worker, i)
+            self.workers.append(worker)
+        flow_ids = []
+        for c in range(concurrency):
+            fid = f"{vmset.name}/http-{c}"
+            GuestServiceFlow(vmset.netstack, fid, self.workers[c % n_vcpus])
+            flow_ids.append(fid)
+        self.client = ClosedLoopClient(testbed, flow_ids, vmset.name, 1, self._make_request)
+
+    @staticmethod
+    def _make_request(rng):
+        return ("req", _REQ_WIRE, _HTTP_SERVICE_NS, _PAGE_BYTES)
+
+    def start(self) -> None:
+        """Start the workload's traffic/load generation."""
+        self.client.start()
+
+    def mark(self) -> None:
+        """Start (or restart) the measurement window at the current time."""
+        self.client.mark()
+
+    def requests_per_sec(self) -> float:
+        """Completed requests per second since the last mark."""
+        return self.client.ops_per_sec()
+
+    def throughput_gbps(self) -> float:
+        """Page bytes served per second since mark()."""
+        elapsed = self.testbed.sim.now - self.client._mark_time
+        pages = self.client.completed - self.client._mark_ops
+        return throughput_gbps(pages * _PAGE_BYTES, elapsed)

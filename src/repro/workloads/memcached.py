@@ -1,0 +1,80 @@
+"""Memcached + memaslap (Fig. 8a).
+
+The tested VM runs a memcached server (one worker thread per vCPU, as
+memcached does by default with ``-t nproc``); the external server runs
+memaslap with 16 connections and 256 concurrent requests at a get/set
+ratio of 9:1 (Section VI-E).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.units import us
+from repro.workloads.rpc import ClosedLoopClient, GuestServiceFlow, ServerWorkerTask
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.testbed import Testbed, VmSetup
+
+__all__ = ["MemcachedWorkload"]
+
+#: request packet on the wire (key + framing)
+_REQ_WIRE = 160
+#: value payload returned by a GET
+_GET_RESPONSE = 1100
+#: acknowledgement returned by a SET
+_SET_RESPONSE = 80
+#: hash-table lookup + response build
+_GET_SERVICE_NS = us(6)
+#: item allocation + store
+_SET_SERVICE_NS = us(9)
+
+
+class MemcachedWorkload:
+    """Memcached server in the tested VM, memaslap as the external client."""
+
+    def __init__(
+        self,
+        testbed: "Testbed",
+        vmset: "VmSetup",
+        connections: int = 16,
+        concurrency: int = 256,
+        get_ratio: float = 0.9,
+    ):
+        self.testbed = testbed
+        self.vmset = vmset
+        self.get_ratio = get_ratio
+        n_vcpus = vmset.vm.n_vcpus
+        self.workers = []
+        for i in range(n_vcpus):
+            worker = ServerWorkerTask(
+                f"memcached-{i}", vmset.netstack, reply_to=testbed.external.name
+            )
+            vmset.guest_os.add_task(worker, i)
+            self.workers.append(worker)
+        flow_ids = []
+        for c in range(connections):
+            fid = f"{vmset.name}/mc-{c}"
+            GuestServiceFlow(vmset.netstack, fid, self.workers[c % n_vcpus])
+            flow_ids.append(fid)
+        per_conn = max(1, concurrency // connections)
+        self.client = ClosedLoopClient(
+            testbed, flow_ids, vmset.name, per_conn, self._make_request
+        )
+
+    def _make_request(self, rng):
+        if rng.random() < self.get_ratio:
+            return ("req", _REQ_WIRE, _GET_SERVICE_NS, _GET_RESPONSE)
+        return ("req", _REQ_WIRE, _SET_SERVICE_NS, _SET_RESPONSE)
+
+    def start(self) -> None:
+        """Start the workload's traffic/load generation."""
+        self.client.start()
+
+    def mark(self) -> None:
+        """Start (or restart) the measurement window at the current time."""
+        self.client.mark()
+
+    def ops_per_sec(self) -> float:
+        """Completed operations per second since the last mark."""
+        return self.client.ops_per_sec()

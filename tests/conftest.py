@@ -1,0 +1,27 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CostModel, SchedParams
+from repro.hw.machine import Machine
+from repro.sim.simulator import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator(seed=42)
+
+
+@pytest.fixture
+def machine(sim: Simulator) -> Machine:
+    m = Machine(sim, n_cores=4)
+    m.start_ticks()
+    return m
+
+
+def make_machine(sim: Simulator, n_cores: int = 4, **kwargs) -> Machine:
+    m = Machine(sim, n_cores=n_cores, **kwargs)
+    m.start_ticks()
+    return m

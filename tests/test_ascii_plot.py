@@ -1,0 +1,55 @@
+"""Tests for the terminal series renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.ascii_plot import line_plot, sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series_uses_floor_block(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_monotone_series_monotone_blocks(self):
+        s = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert s == "▁▂▃▄▅▆▇█"
+
+    def test_explicit_scale(self):
+        s = sparkline([0, 10], lo=0, hi=100)
+        assert s[0] == "▁"
+        assert s[1] in "▁▂"
+
+    def test_length_preserved(self):
+        assert len(sparkline(list(range(37)))) == 37
+
+
+class TestLinePlot:
+    def test_empty(self):
+        assert line_plot({}) == ""
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            line_plot({"a": [1, 2], "b": [1]})
+
+    def test_basic_shape(self):
+        out = line_plot({"up": [0, 1, 2, 3], "down": [3, 2, 1, 0]}, height=4)
+        lines = out.splitlines()
+        assert len(lines) == 4 + 1 + 1  # grid + axis + legend
+        assert "u=up" in lines[-1]
+        assert "d=down" in lines[-1]
+
+    def test_collision_marker(self):
+        out = line_plot({"aa": [1.0], "bb": [1.0]}, height=3)
+        assert "+" in out  # both series at the same cell
+
+    def test_axis_labels(self):
+        out = line_plot({"x": [0, 5, 10]}, height=3, x_labels=["lo", "mid", "hi"])
+        assert "lo" in out and "hi" in out
+
+    def test_y_scale_labels(self):
+        out = line_plot({"x": [0.0, 100.0]}, height=5)
+        assert "100" in out.splitlines()[0]

@@ -1,0 +1,42 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig4_protocol_choices(self):
+        args = build_parser().parse_args(["fig4", "--protocol", "tcp"])
+        assert args.protocol == "tcp"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig4", "--protocol", "sctp"])
+
+    def test_fig6_sizes(self):
+        args = build_parser().parse_args(["fig6", "--sizes", "512", "1448"])
+        assert args.sizes == [512, 1448]
+
+    def test_common_options(self):
+        args = build_parser().parse_args(["table1", "--seed", "9", "--measure-ms", "100"])
+        assert args.seed == 9
+        assert args.measure_ms == 100
+
+
+class TestExecution:
+    def test_table1_runs(self, capsys):
+        assert main(["table1", "--warmup-ms", "40", "--measure-ms", "80"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "PI (Exits/s)" in out
+
+    def test_fig4_single_protocol_runs(self, capsys):
+        assert main(["fig4", "--protocol", "udp", "--warmup-ms", "40", "--measure-ms", "80"]) == 0
+        out = capsys.readouterr().out
+        assert "UDP sending" in out
+        assert "quota=2" in out

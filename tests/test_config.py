@@ -1,0 +1,92 @@
+"""Unit tests for the configuration layer."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import CostModel, FeatureSet, SchedParams, default_cost_model
+from repro.core.configs import PAPER_CONFIGS, paper_config
+from repro.errors import ConfigError
+
+
+class TestCostModel:
+    def test_default_is_valid(self):
+        default_cost_model().validate()
+
+    def test_negative_cost_rejected(self):
+        model = CostModel(vm_entry_ns=-1)
+        with pytest.raises(ConfigError):
+            model.validate()
+
+    def test_scaled_preserves_ratios(self):
+        model = default_cost_model()
+        doubled = model.scaled(2.0)
+        assert doubled.vm_entry_ns == model.vm_entry_ns * 2
+        assert doubled.guest_udp_tx_ns == model.guest_udp_tx_ns * 2
+        # 'others' calibration parameters are not scaled.
+        assert doubled.others_pi_factor == model.others_pi_factor
+
+    def test_jitter_bounds(self):
+        model = CostModel(cost_jitter=0.1)
+        rng = random.Random(1)
+        for _ in range(200):
+            v = model.jittered(10_000, rng)
+            assert 9_000 <= v <= 11_000
+
+    def test_jitter_disabled(self):
+        model = CostModel(cost_jitter=0.0)
+        assert model.jittered(12_345, random.Random(0)) == 12_345
+
+    def test_jitter_ge_one_rejected(self):
+        with pytest.raises(ConfigError):
+            CostModel(cost_jitter=1.0).validate()
+
+
+class TestFeatureSet:
+    def test_paper_names(self):
+        assert FeatureSet().name == "Baseline"
+        assert FeatureSet(pi=True).name == "PI"
+        assert FeatureSet(pi=True, hybrid=True).name == "PI+H"
+        assert FeatureSet(pi=True, hybrid=True, redirect=True).name == "PI+H+R"
+
+    def test_redirect_requires_pi(self):
+        with pytest.raises(ConfigError):
+            FeatureSet(pi=False, redirect=True)
+
+    def test_quota_positive(self):
+        with pytest.raises(ConfigError):
+            FeatureSet(quota=0)
+
+    def test_with_quota(self):
+        fs = FeatureSet(pi=True, hybrid=True).with_quota(16)
+        assert fs.quota == 16
+        assert fs.hybrid
+
+
+class TestPaperConfig:
+    @pytest.mark.parametrize("name", PAPER_CONFIGS)
+    def test_canonical_names(self, name):
+        assert paper_config(name).name == name
+
+    def test_aliases(self):
+        assert paper_config("es2").name == "PI+H+R"
+        assert paper_config("ES2").name == "PI+H+R"
+        assert paper_config("baseline").name == "Baseline"
+
+    def test_quota_override(self):
+        assert paper_config("PI+H", quota=4).quota == 4
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            paper_config("TURBO")
+
+
+class TestSchedParams:
+    def test_default_valid(self):
+        SchedParams().validate()
+
+    def test_zero_granularity_rejected(self):
+        with pytest.raises(ConfigError):
+            SchedParams(min_granularity_ns=0).validate()

@@ -1,0 +1,157 @@
+"""Tests for the ELI related-work model (Section II-C)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import FeatureSet
+from repro.errors import ConfigError, GuestCrash
+from repro.guest.ops import GWork
+from repro.guest.os import GuestOS
+from repro.guest.tasks import CpuBurnTask
+from repro.kvm.exits import ExitReason
+from repro.kvm.hypervisor import Kvm
+from repro.related.eli import EliController
+from repro.units import MS, SEC, us
+from tests.conftest import make_machine
+
+
+def build(sim, n_cores=4, strict=True):
+    m = make_machine(sim, n_cores=n_cores)
+    kvm = Kvm(m)
+    return m, kvm, EliController(kvm, strict=strict)
+
+
+def add_vm(kvm, name, pinning, with_burn=True, vector_handler=True):
+    vm = kvm.create_vm(name, len(pinning), FeatureSet(pi=True), vcpu_pinning=pinning)
+    os = GuestOS(vm)
+    if with_burn:
+        os.add_task_per_vcpu(lambda i: CpuBurnTask(f"{name}-b{i}"))
+    hits = []
+    vector = None
+    if vector_handler:
+        vector = vm.vector_allocator.allocate(f"{name}-dev")
+
+        def factory(context):
+            def ops():
+                yield GWork(us(2))
+                hits.append(context.vcpu.index)
+
+            return ops()
+
+        os.register_irq_handler(vector, factory)
+    return vm, os, vector, hits
+
+
+class TestStrictSetup:
+    def test_dedicated_cores_accepted(self, sim):
+        m, kvm, eli = build(sim)
+        vm, *_ = add_vm(kvm, "vm0", [0, 1])
+        eli.enable(vm)
+        assert eli.is_eli(vm)
+
+    def test_unpinned_rejected(self, sim):
+        m, kvm, eli = build(sim)
+        vm = kvm.create_vm("vm0", 1, FeatureSet(pi=True))
+        GuestOS(vm)
+        with pytest.raises(ConfigError):
+            eli.enable(vm)
+
+    def test_shared_core_with_other_vm_rejected(self, sim):
+        m, kvm, eli = build(sim)
+        vm0, *_ = add_vm(kvm, "vm0", [0])
+        vm1, *_ = add_vm(kvm, "vm1", [0])
+        with pytest.raises(ConfigError):
+            eli.enable(vm0)
+
+    def test_stacked_own_vcpus_rejected(self, sim):
+        m, kvm, eli = build(sim)
+        vm, *_ = add_vm(kvm, "vm0", [0, 0])
+        with pytest.raises(ConfigError):
+            eli.enable(vm)
+
+    def test_requires_deprivileged_delivery(self, sim):
+        m, kvm, eli = build(sim)
+        vm = kvm.create_vm("vm0", 1, FeatureSet(pi=False), vcpu_pinning=[0])
+        GuestOS(vm)
+        with pytest.raises(ConfigError):
+            eli.enable(vm)
+
+
+class TestExitFreeEquivalence:
+    def test_eli_matches_pi_on_dedicated_cores(self, sim):
+        """Section VI-A: "the PI configuration can be regarded as a
+        replacement of them, because of the equivalent effect on
+        eliminating VM exits"."""
+        m, kvm, eli = build(sim)
+        vm, os, vector, hits = add_vm(kvm, "vm0", [0])
+        eli.enable(vm)
+        vm.boot()
+        sim.run_until(10 * MS)
+        before = vm.exit_stats.total
+        for _ in range(20):
+            assert eli.deliver(vm.vcpus[0], vector)
+            sim.run_for(100_000)
+        assert len(hits) == 20
+        # No delivery or completion exits at all.
+        assert vm.exit_stats.counts[ExitReason.EXTERNAL_INTERRUPT] == 0
+        assert vm.exit_stats.counts[ExitReason.APIC_ACCESS] == 0
+        assert vm.exit_stats.total - before <= 2  # background only
+
+
+class TestMultiplexingHazards:
+    def _multiplexed(self, sim):
+        """Two single-vCPU ELI VMs forced onto one core (strict off)."""
+        m, kvm, eli = build(sim, n_cores=2, strict=False)
+        vm0, os0, vec0, hits0 = add_vm(kvm, "vm0", [0])
+        vm1, os1, vec1, hits1 = add_vm(kvm, "vm1", [0])
+        eli.enable(vm0)
+        eli.enable(vm1)
+        vm0.boot()
+        vm1.boot()
+        return m, kvm, eli, (vm0, vec0, hits0), (vm1, vec1, hits1)
+
+    def test_stranded_pending_interrupts_are_misdelivered(self, sim):
+        m, kvm, eli, (vm0, vec0, hits0), (vm1, vec1, hits1) = self._multiplexed(sim)
+        sim.run_until(10 * MS)
+        running = vm0.vcpus[0] if vm0.vcpus[0].in_guest_mode_now else vm1.vcpus[0]
+        other = vm1.vcpus[0] if running is vm0.vcpus[0] else vm0.vcpus[0]
+        # A vector arrives while IRQs are masked, then the vCPU is
+        # descheduled: the bit stays latched in the *physical* IRR...
+        running.vapic.virr.add(0x77)
+        eli._sched_out(running, m.cores[0])
+        assert running.vapic.virr == set()  # state left the vCPU
+        # ...and fires at whatever vCPU runs on that core next.
+        eli._sched_in(other, m.cores[0])
+        assert eli.misdeliveries == 1
+        assert 0x77 in other.vapic.virr
+
+    def test_stranded_interrupts_lost_to_non_eli_thread(self, sim):
+        m, kvm, eli, (vm0, vec0, hits0), (vm1, vec1, hits1) = self._multiplexed(sim)
+        sim.run_until(10 * MS)
+        running = vm0.vcpus[0] if vm0.vcpus[0].in_guest_mode_now else vm1.vcpus[0]
+        running.vapic.virr.add(0x55)
+        eli._sched_out(running, m.cores[0])
+        # An ordinary (non-ELI) VM's vCPU picks up the core: the original
+        # VM never sees the vector again.
+        bystander_vm = kvm.create_vm("plain", 1, FeatureSet(pi=True), vcpu_pinning=[0])
+        GuestOS(bystander_vm)
+        eli._sched_in(bystander_vm.vcpus[0], m.cores[0])
+        assert eli.lost_interrupts >= 1
+
+    def test_interruptibility_loss_blocks_sibling(self, sim):
+        m, kvm, eli, (vm0, vec0, hits0), (vm1, vec1, hits1) = self._multiplexed(sim)
+        sim.run_until(10 * MS)
+        running = vm0.vcpus[0] if vm0.vcpus[0].in_guest_mode_now else vm1.vcpus[0]
+        other = vm1.vcpus[0] if running is vm0.vcpus[0] else vm0.vcpus[0]
+        # Fake a mid-handler deschedule: vector in service, no EOI yet.
+        running.vapic.visr.add(0x30)
+        eli._sched_out(running, m.cores[0])
+        assert eli.interruptibility_loss_events == 1
+        assert eli.core_blocked(0)
+        # A delivery to the other VM's vCPU on that core is lost.
+        assert eli.deliver(other, vec1 if other is vm1.vcpus[0] else vec0) is False
+        assert eli.lost_interrupts >= 1
+        # Once the owner returns, the core unblocks.
+        eli._sched_in(running, m.cores[0])
+        assert not eli.core_blocked(0)

@@ -1,0 +1,185 @@
+"""Unit tests for ES2's scheduling tracker and intelligent redirector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import FeatureSet
+from repro.core.redirector import InterruptRedirector
+from repro.core.tracker import VcpuScheduleTracker
+from repro.guest.os import GuestOS
+from repro.guest.tasks import CpuBurnTask
+from repro.hw.msi import DeliveryMode, MsiMessage
+from repro.kvm.hypervisor import Kvm
+from repro.kvm.idt import LOCAL_TIMER_VECTOR
+from repro.units import MS, SEC
+from tests.conftest import make_machine
+
+
+def build_stacked_vm(sim, n_vcpus=4, features=None):
+    """A VM whose vCPUs all share core 0 (forced stacking)."""
+    m = make_machine(sim, n_cores=2)
+    kvm = Kvm(m)
+    tracker = VcpuScheduleTracker(kvm)
+    features = features or FeatureSet(pi=True)
+    vm = kvm.create_vm("vm0", n_vcpus, features, vcpu_pinning=[0] * n_vcpus)
+    os = GuestOS(vm)
+    os.add_task_per_vcpu(lambda i: CpuBurnTask(f"burn{i}"))
+    vm.boot()
+    return m, kvm, tracker, vm
+
+
+class TestTracker:
+    def test_initially_all_offline(self, sim):
+        m, kvm, tracker, vm = build_stacked_vm(sim)
+        # Before any scheduling, the offline list holds all indices in order.
+        fresh_vm = kvm.create_vm("vm1", 2, FeatureSet(pi=True))
+        assert list(tracker.offline_order(fresh_vm)) == [0, 1]
+        assert tracker.online_indices(fresh_vm) == set()
+
+    def test_exactly_one_online_on_single_core(self, sim):
+        m, kvm, tracker, vm = build_stacked_vm(sim)
+        sim.run_until(100 * MS)
+        online = tracker.online_indices(vm)
+        assert len(online) == 1
+        offline = list(tracker.offline_order(vm))
+        assert len(offline) == 3
+        assert set(offline) | online == {0, 1, 2, 3}
+
+    def test_online_offline_partition_invariant(self, sim):
+        m, kvm, tracker, vm = build_stacked_vm(sim)
+        for _ in range(20):
+            sim.run_for(37 * MS)
+            online = tracker.online_indices(vm)
+            offline = list(tracker.offline_order(vm))
+            assert len(online) + len(offline) == 4
+            assert online.isdisjoint(offline)
+            assert len(set(offline)) == len(offline)  # no duplicates
+
+    def test_offline_order_is_descheduling_order(self, sim):
+        m, kvm, tracker, vm = build_stacked_vm(sim)
+        sim.run_until(SEC)
+        # The head has been offline the longest: it must not be the vCPU
+        # that most recently went offline.
+        events = []
+        tracker.add_offline_listener(lambda vm_, idx: events.append(idx))
+        sim.run_for(300 * MS)
+        offline = list(tracker.offline_order(vm))
+        if events and len(offline) >= 2:
+            assert offline[-1] == events[-1]
+
+    def test_transitions_counted(self, sim):
+        m, kvm, tracker, vm = build_stacked_vm(sim)
+        sim.run_until(500 * MS)
+        assert tracker.transitions > 10
+
+
+class TestRedirector:
+    def _msg(self, vector=0x30, dest=0, mode=DeliveryMode.LOWEST_PRIORITY, dest_set=None):
+        return MsiMessage(vector=vector, dest_vcpu=dest, mode=mode, dest_set=dest_set)
+
+    def test_fixed_mode_never_redirected(self, sim):
+        m, kvm, tracker, vm = build_stacked_vm(sim)
+        r = InterruptRedirector(tracker)
+        sim.run_until(50 * MS)
+        assert r.select(vm, self._msg(mode=DeliveryMode.FIXED)) is None
+        assert r.ineligible == 1
+
+    def test_non_device_vector_never_redirected(self, sim):
+        m, kvm, tracker, vm = build_stacked_vm(sim)
+        r = InterruptRedirector(tracker)
+        sim.run_until(50 * MS)
+        assert r.select(vm, self._msg(vector=LOCAL_TIMER_VECTOR)) is None
+
+    def test_selects_online_vcpu(self, sim):
+        m, kvm, tracker, vm = build_stacked_vm(sim)
+        r = InterruptRedirector(tracker)
+        sim.run_until(50 * MS)
+        target = r.select(vm, self._msg())
+        assert target in tracker.online_indices(vm)
+        assert r.redirects_online == 1
+
+    def test_sticky_until_descheduled(self, sim):
+        m, kvm, tracker, vm = build_stacked_vm(sim)
+        r = InterruptRedirector(tracker)
+        sim.run_until(50 * MS)
+        first = r.select(vm, self._msg())
+        # Still online: repeated selections stick to the same vCPU.
+        for _ in range(5):
+            assert r.select(vm, self._msg()) == first
+        # After the sticky vCPU goes offline, a new target is chosen.
+        r._on_vcpu_offline(vm, first)
+        tracker._online[id(vm)].discard(first)
+        tracker._offline[id(vm)].append(first)
+        second = r.select(vm, self._msg())
+        assert second != first
+
+    def test_no_sticky_balances_by_load(self, sim):
+        m, kvm, tracker, vm = build_stacked_vm(
+            sim, features=FeatureSet(pi=True, hybrid=True, redirect=True, redirect_sticky=False)
+        )
+        r = InterruptRedirector(tracker)
+        # Fabricate two online vCPUs.
+        key = id(vm)
+        tracker._ensure(vm)
+        tracker._online[key] = {0, 1}
+        tracker._offline[key].clear()
+        tracker._offline[key].extend([2, 3])
+        picks = [r.select(vm, self._msg()) for _ in range(10)]
+        # Lightest-load selection alternates between the two online vCPUs.
+        assert picks.count(0) == 5
+        assert picks.count(1) == 5
+
+    def test_offline_prediction_picks_head(self, sim):
+        m, kvm, tracker, vm = build_stacked_vm(sim)
+        r = InterruptRedirector(tracker)
+        key = id(vm)
+        tracker._ensure(vm)
+        tracker._online[key] = set()
+        tracker._offline[key].clear()
+        tracker._offline[key].extend([2, 0, 3, 1])
+        assert r.select(vm, self._msg()) == 2
+        assert r.redirects_predicted == 1
+
+    def test_offline_prediction_respects_dest_set(self, sim):
+        m, kvm, tracker, vm = build_stacked_vm(sim)
+        r = InterruptRedirector(tracker)
+        key = id(vm)
+        tracker._ensure(vm)
+        tracker._online[key] = set()
+        tracker._offline[key].clear()
+        tracker._offline[key].extend([2, 0, 3, 1])
+        msg = self._msg(dest_set=frozenset({0, 1}))
+        assert r.select(vm, msg) == 0  # 2 and 3 are outside the mask
+
+    def test_online_respects_dest_set(self, sim):
+        m, kvm, tracker, vm = build_stacked_vm(sim)
+        r = InterruptRedirector(tracker)
+        key = id(vm)
+        tracker._ensure(vm)
+        tracker._online[key] = {2}
+        msg = self._msg(dest_set=frozenset({0, 1}))
+        # Online vCPU 2 is not allowed; falls through to offline prediction.
+        target = r.select(vm, msg)
+        assert target in {0, 1}
+
+
+class TestControllerIntegration:
+    def test_interceptor_disabled_for_non_redirect_vms(self, sim):
+        from repro.core.controller import Es2Controller
+
+        m = make_machine(sim, n_cores=2)
+        kvm = Kvm(m)
+        es2 = Es2Controller(kvm)
+        vm = kvm.create_vm("vm0", 2, FeatureSet(pi=True))  # redirect off
+        assert es2._intercept(vm, MsiMessage(vector=0x30, dest_vcpu=0)) is None
+
+    def test_uninstall_removes_interceptor(self, sim):
+        from repro.core.controller import Es2Controller
+
+        m = make_machine(sim, n_cores=2)
+        kvm = Kvm(m)
+        es2 = Es2Controller(kvm)
+        assert kvm.router._interceptor is not None
+        es2.uninstall()
+        assert kvm.router._interceptor is None

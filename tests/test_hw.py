@@ -1,0 +1,155 @@
+"""Unit tests for the hardware layer: NIC/link, MSI, IDT, LAPIC IPIs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GuestError, HardwareError
+from repro.hw.machine import Machine
+from repro.hw.msi import DeliveryMode, MsiMessage
+from repro.hw.nic import Link, Nic
+from repro.kvm.idt import (
+    FIRST_DEVICE_VECTOR,
+    LAST_DEVICE_VECTOR,
+    LOCAL_TIMER_VECTOR,
+    RESCHEDULE_VECTOR,
+    VectorAllocator,
+    is_device_vector,
+)
+from repro.net.packet import Packet
+from repro.units import US, us
+
+
+def make_pair(sim, rate=40.0, prop=us(1)):
+    a = Nic(sim, "a")
+    b = Nic(sim, "b")
+    link = Link(sim, a, b, rate_gbps=rate, propagation_ns=prop)
+    return a, b, link
+
+
+class TestLink:
+    def test_delivers_after_serialization_and_propagation(self, sim):
+        a, b, link = make_pair(sim)
+        got = []
+        b.set_rx_handler(lambda p: got.append((p, sim.now)))
+        a.send(Packet("f", "data", 1500, dst="b"))
+        sim.run_until(10 * US)
+        assert len(got) == 1
+        # 1500B at 40G = 300ns + 1000ns propagation.
+        assert got[0][1] == 1300
+
+    def test_serialization_queues_back_to_back(self, sim):
+        a, b, link = make_pair(sim)
+        times = []
+        b.set_rx_handler(lambda p: times.append(sim.now))
+        for _ in range(3):
+            a.send(Packet("f", "data", 1500, dst="b"))
+        sim.run_until(10 * US)
+        assert times == [1300, 1600, 1900]
+
+    def test_directions_are_independent(self, sim):
+        a, b, link = make_pair(sim)
+        got_a, got_b = [], []
+        a.set_rx_handler(lambda p: got_a.append(sim.now))
+        b.set_rx_handler(lambda p: got_b.append(sim.now))
+        a.send(Packet("f", "data", 1500, dst="b"))
+        b.send(Packet("f", "data", 1500, dst="a"))
+        sim.run_until(10 * US)
+        assert got_a == [1300]
+        assert got_b == [1300]
+
+    def test_in_order_delivery(self, sim):
+        a, b, link = make_pair(sim)
+        seqs = []
+        b.set_rx_handler(lambda p: seqs.append(p.seq))
+        for i in range(10):
+            a.send(Packet("f", "data", 200, dst="b", seq=i))
+        sim.run_until(100 * US)
+        assert seqs == list(range(10))
+
+    def test_nic_counters(self, sim):
+        a, b, link = make_pair(sim)
+        b.set_rx_handler(lambda p: None)
+        a.send(Packet("f", "data", 777, dst="b"))
+        sim.run_until(10 * US)
+        assert a.tx_packets == 1 and a.tx_bytes == 777
+        assert b.rx_packets == 1 and b.rx_bytes == 777
+
+    def test_send_without_link_rejected(self, sim):
+        nic = Nic(sim, "lonely")
+        with pytest.raises(HardwareError):
+            nic.send(Packet("f", "data", 100, dst="x"))
+
+    def test_receive_without_handler_rejected(self, sim):
+        a, b, link = make_pair(sim)
+        a.send(Packet("f", "data", 100, dst="b"))
+        with pytest.raises(HardwareError):
+            sim.run_until(10 * US)
+
+
+class TestMsi:
+    def test_lowest_priority_allows_any_by_default(self):
+        msg = MsiMessage(vector=0x23, dest_vcpu=0)
+        assert msg.allows(3)
+
+    def test_dest_set_restricts(self):
+        msg = MsiMessage(vector=0x23, dest_vcpu=0, dest_set=frozenset({0, 1}))
+        assert msg.allows(1)
+        assert not msg.allows(2)
+
+    def test_fixed_mode_allows_only_target(self):
+        msg = MsiMessage(vector=0x23, dest_vcpu=2, mode=DeliveryMode.FIXED)
+        assert msg.allows(2)
+        assert not msg.allows(0)
+
+    def test_redirected_to_preserves_other_fields(self):
+        msg = MsiMessage(vector=0x55, dest_vcpu=0)
+        new = msg.redirected_to(3)
+        assert new.dest_vcpu == 3
+        assert new.vector == 0x55
+        assert new.mode is msg.mode
+
+
+class TestIdt:
+    def test_device_vector_range(self):
+        assert is_device_vector(FIRST_DEVICE_VECTOR)
+        assert is_device_vector(LAST_DEVICE_VECTOR)
+        assert not is_device_vector(LOCAL_TIMER_VECTOR)
+        assert not is_device_vector(RESCHEDULE_VECTOR)
+
+    def test_allocator_sequential_and_tracked(self):
+        alloc = VectorAllocator()
+        v1 = alloc.allocate("eth0")
+        v2 = alloc.allocate("eth1")
+        assert v2 == v1 + 1
+        assert alloc.owner_of(v1) == "eth0"
+
+    def test_owner_of_unallocated_raises(self):
+        with pytest.raises(GuestError):
+            VectorAllocator().owner_of(0x50)
+
+    def test_exhaustion(self):
+        alloc = VectorAllocator()
+        for _ in range(LAST_DEVICE_VECTOR - FIRST_DEVICE_VECTOR + 1):
+            alloc.allocate("dev")
+        with pytest.raises(GuestError):
+            alloc.allocate("one-too-many")
+
+
+class TestIpis:
+    def test_post_ipi_reaches_core_after_flight(self, sim):
+        m = Machine(sim, n_cores=2)
+        received = []
+        m.cores[1].on_ipi = lambda vec, kind: received.append((vec, kind, sim.now))
+        m.post_ipi(m.cores[1], 0xF2, "pi-notify")
+        sim.run_until(10 * US)
+        assert received == [(0xF2, "pi-notify", m.cost.ipi_flight_ns)]
+        assert m.cores[1].lapic.ipis_received == 1
+
+    def test_lapic_send_ipi_counts(self, sim):
+        m = Machine(sim, n_cores=2)
+        m.cores[1].on_ipi = lambda vec, kind: None
+        m.cores[0].lapic.send_ipi(m.cores[1], 0xFD, "kick")
+        sim.run_until(10 * US)
+        assert m.cores[0].lapic.ipis_sent == 1
+        assert m.cores[1].lapic.ipis_received == 1

@@ -1,0 +1,158 @@
+"""Unit tests for the emulated Local-APIC and the vAPIC/PI descriptor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import HypervisorError
+from repro.kvm.apic_emul import EmulatedLapic
+from repro.kvm.vapic import PostedInterruptDescriptor, VApicPage
+
+
+class TestEmulatedLapic:
+    def test_set_irq_latches_pending(self):
+        apic = EmulatedLapic()
+        assert apic.set_irq(0x23) is True
+        assert apic.has_pending()
+        assert apic.highest_pending() == 0x23
+
+    def test_duplicate_irq_coalesces(self):
+        apic = EmulatedLapic()
+        assert apic.set_irq(0x23) is True
+        assert apic.set_irq(0x23) is False  # already pending
+        apic.inject()
+        assert not apic.has_pending()
+
+    def test_inject_moves_irr_to_isr(self):
+        apic = EmulatedLapic()
+        apic.set_irq(0x30)
+        vec = apic.inject()
+        assert vec == 0x30
+        assert not apic.has_pending()
+        assert apic.in_service() == {0x30}
+
+    def test_priority_highest_vector_first(self):
+        apic = EmulatedLapic()
+        apic.set_irq(0x23)
+        apic.set_irq(0xEC)
+        assert apic.inject() == 0xEC
+
+    def test_lower_priority_blocked_while_in_service(self):
+        apic = EmulatedLapic()
+        apic.set_irq(0xEC)
+        apic.inject()
+        apic.set_irq(0x23)
+        assert not apic.can_inject()  # 0x23 < in-service 0xEC
+        apic.eoi()
+        assert apic.can_inject()
+
+    def test_higher_priority_preempts_in_service(self):
+        apic = EmulatedLapic()
+        apic.set_irq(0x23)
+        apic.inject()
+        apic.set_irq(0xEC)
+        assert apic.can_inject()
+
+    def test_eoi_clears_highest_isr(self):
+        apic = EmulatedLapic()
+        for v in (0x23, 0xEC):
+            apic.set_irq(v)
+            apic.inject()
+        assert apic.eoi() == 0xEC
+        assert apic.in_service() == {0x23}
+
+    def test_spurious_eoi_harmless(self):
+        apic = EmulatedLapic()
+        assert apic.eoi() is None
+
+    def test_inject_without_pending_raises(self):
+        with pytest.raises(HypervisorError):
+            EmulatedLapic().inject()
+
+    def test_vector_range_checked(self):
+        with pytest.raises(HypervisorError):
+            EmulatedLapic().set_irq(300)
+
+
+class TestPostedInterruptDescriptor:
+    def test_first_post_requests_notification(self):
+        pd = PostedInterruptDescriptor()
+        assert pd.post(0x23) is True
+        assert pd.on_bit
+
+    def test_subsequent_posts_suppressed_while_on(self):
+        pd = PostedInterruptDescriptor()
+        pd.post(0x23)
+        assert pd.post(0x24) is False  # ON still set, no second IPI
+
+    def test_drain_returns_all_and_clears_on(self):
+        pd = PostedInterruptDescriptor()
+        pd.post(0x23)
+        pd.post(0x24)
+        assert pd.drain() == {0x23, 0x24}
+        assert not pd.on_bit
+        assert not pd.has_pending()
+
+    def test_post_after_drain_notifies_again(self):
+        pd = PostedInterruptDescriptor()
+        pd.post(0x23)
+        pd.drain()
+        assert pd.post(0x23) is True
+
+
+class TestVApicPage:
+    def test_sync_moves_pir_to_virr(self):
+        v = VApicPage()
+        v.pi_desc.post(0x23)
+        moved = v.sync_pir_to_virr()
+        assert moved == 1
+        assert v.has_deliverable()
+
+    def test_deliver_moves_to_service(self):
+        v = VApicPage()
+        v.pi_desc.post(0x23)
+        v.sync_pir_to_virr()
+        assert v.deliver() == 0x23
+        assert not v.has_deliverable()
+        assert v.visr == {0x23}
+
+    def test_virtual_eoi_no_exit_semantics(self):
+        v = VApicPage()
+        v.pi_desc.post(0x23)
+        v.sync_pir_to_virr()
+        v.deliver()
+        assert v.eoi() == 0x23
+        assert v.visr == set()
+        assert v.virtual_eois == 1
+
+    def test_priority_order(self):
+        v = VApicPage()
+        for vec in (0x23, 0x40, 0x30):
+            v.pi_desc.post(vec)
+        v.sync_pir_to_virr()
+        assert v.deliver() == 0x40
+
+    def test_in_service_blocks_lower(self):
+        v = VApicPage()
+        v.pi_desc.post(0x40)
+        v.sync_pir_to_virr()
+        v.deliver()
+        v.pi_desc.post(0x23)
+        v.sync_pir_to_virr()
+        assert not v.has_deliverable()
+        v.eoi()
+        assert v.has_deliverable()
+
+    def test_any_pending_sees_pir_and_virr(self):
+        v = VApicPage()
+        assert not v.any_pending()
+        v.pi_desc.post(0x23)
+        assert v.any_pending()
+        v.sync_pir_to_virr()
+        assert v.any_pending()
+        v.deliver()
+        assert not v.any_pending()
+
+    def test_deliver_empty_raises(self):
+        with pytest.raises(HypervisorError):
+            VApicPage().deliver()

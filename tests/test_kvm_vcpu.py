@@ -1,0 +1,339 @@
+"""Integration tests: vCPU execution, exits, and both interrupt paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import FeatureSet
+from repro.guest.ops import GKick, GWork
+from repro.guest.os import GuestOS
+from repro.guest.tasks import CpuBurnTask, GuestTask, TaskBlock, TaskYield
+from repro.hw.msi import DeliveryMode, MsiMessage
+from repro.kvm.exits import ExitReason
+from repro.kvm.hypervisor import Kvm
+from repro.kvm.idt import LOCAL_TIMER_VECTOR
+from repro.units import MS, SEC, US, us
+from tests.conftest import make_machine
+
+
+class FakeQueue:
+    """Minimal virtqueue stand-in for kick-path tests."""
+
+    def __init__(self, suppressed=False):
+        self.suppressed = suppressed
+        self.kicks = []
+        self.backend_notifications = 0
+
+    def guest_should_kick(self):
+        return not self.suppressed
+
+    def note_kick(self, exited):
+        self.kicks.append(exited)
+
+    def backend_notified(self):
+        self.backend_notifications += 1
+
+
+def build_vm(sim, features, n_vcpus=1, n_cores=2, with_burn=True, pinning=None):
+    m = make_machine(sim, n_cores=n_cores)
+    kvm = Kvm(m)
+    vm = kvm.create_vm("vm0", n_vcpus, features, vcpu_pinning=pinning)
+    os = GuestOS(vm)
+    if with_burn:
+        os.add_task_per_vcpu(lambda i: CpuBurnTask(f"burn{i}"))
+    return m, kvm, vm, os
+
+
+class RecordingHandlerMixin:
+    pass
+
+
+def install_device_vector(vm, os, cost_ns=us(2)):
+    """Register a device vector whose handler records invocations."""
+    vector = vm.vector_allocator.allocate("test-dev")
+    hits = []
+
+    def factory(context):
+        def ops():
+            yield GWork(cost_ns)
+            hits.append((context.vcpu.index, context.vcpu.sim.now))
+
+        return ops()
+
+    os.register_irq_handler(vector, factory)
+    return vector, hits
+
+
+class TestGuestExecution:
+    def test_burn_task_keeps_vcpu_in_guest(self, sim):
+        m, kvm, vm, os = build_vm(sim, FeatureSet())
+        vm.boot()
+        sim.run_until(100 * MS)
+        vcpu = vm.vcpus[0]
+        assert vcpu.guest_time > 90 * MS
+        assert vcpu.time_in_guest() > 0.9
+
+    def test_hlt_when_no_tasks(self, sim):
+        m, kvm, vm, os = build_vm(sim, FeatureSet(), with_burn=False)
+        vm.boot()
+        sim.run_until(10 * MS)
+        vcpu = vm.vcpus[0]
+        assert vcpu._halted
+        assert vm.exit_stats.counts[ExitReason.HLT] == 1
+        assert vcpu.guest_time == 0
+
+    def test_others_exits_occur_at_calibrated_rate(self, sim):
+        m, kvm, vm, os = build_vm(sim, FeatureSet())
+        vm.boot()
+        sim.run_until(SEC)
+        others = (
+            vm.exit_stats.counts[ExitReason.EPT_VIOLATION]
+            + vm.exit_stats.counts[ExitReason.PENDING_INTERRUPT]
+        )
+        # Mean interval 480us of guest time -> ~2080/s for a busy vCPU.
+        assert 1500 < others < 2800
+
+    def test_pi_reduces_others_exits(self, sim):
+        m, kvm, vm, os = build_vm(sim, FeatureSet(pi=True))
+        vm.boot()
+        sim.run_until(SEC)
+        others = (
+            vm.exit_stats.counts[ExitReason.EPT_VIOLATION]
+            + vm.exit_stats.counts[ExitReason.PENDING_INTERRUPT]
+        )
+        assert 500 < others < 1500
+
+
+class TestBaselineInterruptPath:
+    def test_interrupt_causes_delivery_and_completion_exits(self, sim):
+        m, kvm, vm, os = build_vm(sim, FeatureSet())
+        vector, hits = install_device_vector(vm, os)
+        vm.boot()
+        sim.run_until(5 * MS)  # let the guest get going
+        before_ext = vm.exit_stats.counts[ExitReason.EXTERNAL_INTERRUPT]
+        before_apic = vm.exit_stats.counts[ExitReason.APIC_ACCESS]
+        kvm.deliver_vcpu_interrupt(vm.vcpus[0], vector)
+        sim.run_until(10 * MS)
+        assert len(hits) == 1
+        assert vm.exit_stats.counts[ExitReason.EXTERNAL_INTERRUPT] == before_ext + 1
+        assert vm.exit_stats.counts[ExitReason.APIC_ACCESS] == before_apic + 1
+
+    def test_interrupt_latency_is_microseconds_on_running_vcpu(self, sim):
+        m, kvm, vm, os = build_vm(sim, FeatureSet())
+        vector, hits = install_device_vector(vm, os)
+        vm.boot()
+        sim.run_until(5 * MS)
+        t0 = sim.now
+        kvm.deliver_vcpu_interrupt(vm.vcpus[0], vector)
+        sim.run_until(6 * MS)
+        assert len(hits) == 1
+        latency = hits[0][1] - t0
+        assert latency < 50 * US
+
+    def test_interrupt_wakes_halted_vcpu(self, sim):
+        m, kvm, vm, os = build_vm(sim, FeatureSet(), with_burn=False)
+        vector, hits = install_device_vector(vm, os)
+        vm.boot()
+        sim.run_until(5 * MS)
+        assert vm.vcpus[0]._halted
+        kvm.deliver_vcpu_interrupt(vm.vcpus[0], vector)
+        sim.run_until(6 * MS)
+        assert len(hits) == 1
+
+    def test_eoi_clears_isr_allowing_next_interrupt(self, sim):
+        m, kvm, vm, os = build_vm(sim, FeatureSet())
+        vector, hits = install_device_vector(vm, os)
+        vm.boot()
+        sim.run_until(5 * MS)
+        for _ in range(3):
+            kvm.deliver_vcpu_interrupt(vm.vcpus[0], vector)
+            sim.run_for(MS)
+        assert len(hits) == 3
+        assert vm.vcpus[0].apic.in_service() == set()
+
+
+class TestPostedInterruptPath:
+    def test_no_exits_for_delivery_or_completion(self, sim):
+        m, kvm, vm, os = build_vm(sim, FeatureSet(pi=True))
+        vector, hits = install_device_vector(vm, os)
+        vm.boot()
+        sim.run_until(5 * MS)
+        before_ext = vm.exit_stats.counts[ExitReason.EXTERNAL_INTERRUPT]
+        before_apic = vm.exit_stats.counts[ExitReason.APIC_ACCESS]
+        for _ in range(10):
+            kvm.deliver_vcpu_interrupt(vm.vcpus[0], vector)
+            sim.run_for(100 * US)
+        assert len(hits) == 10
+        assert vm.exit_stats.counts[ExitReason.EXTERNAL_INTERRUPT] == before_ext
+        assert vm.exit_stats.counts[ExitReason.APIC_ACCESS] == before_apic
+        assert vm.vcpus[0].vapic.virtual_eois >= 10
+
+    def test_pi_latency_under_10us_on_running_vcpu(self, sim):
+        m, kvm, vm, os = build_vm(sim, FeatureSet(pi=True))
+        vector, hits = install_device_vector(vm, os)
+        vm.boot()
+        sim.run_until(5 * MS)
+        t0 = sim.now
+        kvm.deliver_vcpu_interrupt(vm.vcpus[0], vector)
+        sim.run_until(6 * MS)
+        latency = hits[0][1] - t0
+        assert latency < 10 * US
+
+    def test_pir_synced_at_entry_for_descheduled_vcpu(self, sim):
+        # Two vCPU threads pinned to one core: the offline one gets the
+        # interrupt only when it is scheduled back in.
+        m = make_machine(sim, n_cores=1)
+        kvm = Kvm(m)
+        vm = kvm.create_vm("vm0", 2, FeatureSet(pi=True), vcpu_pinning=[0, 0])
+        os = GuestOS(vm)
+        os.add_task_per_vcpu(lambda i: CpuBurnTask(f"burn{i}"))
+        vector, hits = install_device_vector(vm, os)
+        vm.boot()
+        sim.run_until(10 * MS)
+        offline = next(v for v in vm.vcpus if not v.in_guest_mode_now)
+        t0 = sim.now
+        kvm.deliver_vcpu_interrupt(offline, vector)
+        sim.run_until(200 * MS)
+        mine = [h for h in hits if h[0] == offline.index]
+        assert len(mine) == 1
+        # Delivered later (after a scheduling delay), not instantly.
+        latency = mine[0][1] - t0
+        assert latency > 100 * US
+
+    def test_pi_wakes_halted_vcpu(self, sim):
+        m, kvm, vm, os = build_vm(sim, FeatureSet(pi=True), with_burn=False)
+        vector, hits = install_device_vector(vm, os)
+        vm.boot()
+        sim.run_until(5 * MS)
+        kvm.deliver_vcpu_interrupt(vm.vcpus[0], vector)
+        sim.run_until(6 * MS)
+        assert len(hits) == 1
+
+
+class TestKickPath:
+    def _kick_task(self, queue, n):
+        class KickTask(GuestTask):
+            def body(self):
+                for _ in range(n):
+                    yield GWork(us(1))
+                    yield GKick(queue)
+
+        return KickTask("kicker")
+
+    def test_unsuppressed_kick_causes_io_exit(self, sim):
+        m, kvm, vm, os = build_vm(sim, FeatureSet(), with_burn=False)
+        q = FakeQueue(suppressed=False)
+        os.add_task(self._kick_task(q, 5), 0)
+        vm.boot()
+        sim.run_until(10 * MS)
+        assert vm.exit_stats.counts[ExitReason.IO_INSTRUCTION] == 5
+        assert q.backend_notifications == 5
+        assert q.kicks == [True] * 5
+
+    def test_suppressed_kick_avoids_exit(self, sim):
+        m, kvm, vm, os = build_vm(sim, FeatureSet(), with_burn=False)
+        q = FakeQueue(suppressed=True)
+        os.add_task(self._kick_task(q, 5), 0)
+        vm.boot()
+        sim.run_until(10 * MS)
+        assert vm.exit_stats.counts[ExitReason.IO_INSTRUCTION] == 0
+        assert q.backend_notifications == 0
+        assert q.kicks == [False] * 5
+
+
+class TestGuestTimer:
+    def test_timer_interrupts_fire_on_every_vcpu(self, sim):
+        m, kvm, vm, os = build_vm(sim, FeatureSet(pi=True), n_vcpus=2, n_cores=2)
+        kvm.start_guest_timer(vm, period_ns=4 * MS)
+        vm.boot()
+        sim.run_until(SEC)
+        # ~250 ticks/s per vCPU.
+        assert 400 < os.timer_ticks < 600
+
+    def test_timer_rotates_equal_priority_tasks(self, sim):
+        m, kvm, vm, os = build_vm(sim, FeatureSet(pi=True), with_burn=False)
+        kvm.start_guest_timer(vm, period_ns=4 * MS)
+        ran = {"a": 0, "b": 0}
+
+        class Spinner(GuestTask):
+            def body(self):
+                while True:
+                    yield GWork(us(50))
+                    ran[self.name] += 1
+
+        os.add_task(Spinner("a"), 0)
+        os.add_task(Spinner("b"), 0)
+        vm.boot()
+        sim.run_until(SEC)
+        assert ran["a"] > 100
+        assert ran["b"] > 100
+
+    def test_burn_only_runs_when_higher_priority_blocked(self, sim):
+        m, kvm, vm, os = build_vm(sim, FeatureSet(pi=True))
+        kvm.start_guest_timer(vm, period_ns=4 * MS)
+        burn = os.contexts[0].runqueue[0]
+
+        class Greedy(GuestTask):
+            def body(self):
+                while True:
+                    yield GWork(us(100))
+
+        os.add_task(Greedy("greedy"), 0)
+        vm.boot()
+        sim.run_until(200 * MS)
+        assert burn.burned < 5 * MS  # starved by the higher-priority task
+
+
+class TestMsiRouting:
+    def test_routed_delivery_reaches_affinity_target(self, sim):
+        m, kvm, vm, os = build_vm(sim, FeatureSet(pi=True), n_vcpus=2, n_cores=4)
+        vector, hits = install_device_vector(vm, os)
+        route = vm.register_msi_route(
+            MsiMessage(vector=vector, dest_vcpu=1, mode=DeliveryMode.LOWEST_PRIORITY)
+        )
+        vm.boot()
+        sim.run_until(5 * MS)
+        kvm.router.signal(vm, route)
+        sim.run_until(10 * MS)
+        assert hits and hits[0][0] == 1
+
+    def test_fixed_mode_redirect_crashes_guest(self, sim):
+        from repro.errors import GuestCrash
+
+        m, kvm, vm, os = build_vm(sim, FeatureSet(pi=True), n_vcpus=2, n_cores=4)
+        vector, hits = install_device_vector(vm, os)
+        msg = MsiMessage(vector=vector, dest_vcpu=0, mode=DeliveryMode.FIXED)
+        kvm.router.set_interceptor(lambda vm_, m_: 1)  # illegal rewrite
+        vm.boot()
+        sim.run_until(5 * MS)
+        with pytest.raises(GuestCrash):
+            kvm.router.deliver_msi(vm, msg)
+
+    def test_redirect_outside_dest_set_crashes_guest(self, sim):
+        from repro.errors import GuestCrash
+
+        m, kvm, vm, os = build_vm(sim, FeatureSet(pi=True), n_vcpus=4, n_cores=4)
+        vector, hits = install_device_vector(vm, os)
+        msg = MsiMessage(
+            vector=vector,
+            dest_vcpu=0,
+            mode=DeliveryMode.LOWEST_PRIORITY,
+            dest_set=frozenset({0, 1}),
+        )
+        kvm.router.set_interceptor(lambda vm_, m_: 3)
+        vm.boot()
+        sim.run_until(5 * MS)
+        with pytest.raises(GuestCrash):
+            kvm.router.deliver_msi(vm, msg)
+
+    def test_legal_redirect_rewrites_destination(self, sim):
+        m, kvm, vm, os = build_vm(sim, FeatureSet(pi=True), n_vcpus=2, n_cores=4)
+        vector, hits = install_device_vector(vm, os)
+        msg = MsiMessage(vector=vector, dest_vcpu=0, mode=DeliveryMode.LOWEST_PRIORITY)
+        kvm.router.set_interceptor(lambda vm_, m_: 1)
+        vm.boot()
+        sim.run_until(5 * MS)
+        kvm.router.deliver_msi(vm, msg)
+        sim.run_until(10 * MS)
+        assert hits and hits[0][0] == 1
+        assert kvm.router.redirected == 1

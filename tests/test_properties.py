@@ -1,0 +1,135 @@
+"""Property-based tests on core invariants (hypothesis)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kvm.apic_emul import EmulatedLapic
+from repro.kvm.vapic import VApicPage
+from repro.sched.thread import Consume, CpuMode, Thread
+from repro.sim.event import EventQueue
+from repro.sim.simulator import Simulator
+from repro.units import MS, SEC
+from tests.conftest import make_machine
+
+
+class TestEventQueueProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_pops_in_nondecreasing_time_order(self, times):
+        q = EventQueue()
+        for t in times:
+            q.push(t, lambda: None)
+        popped = []
+        while (ev := q.pop()) is not None:
+            popped.append(ev.time)
+        assert popped == sorted(times)
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 100), st.booleans()), max_size=120),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_cancellation_never_fires(self, spec):
+        q = EventQueue()
+        fired = []
+        events = []
+        for i, (t, cancel) in enumerate(spec):
+            ev = q.push(t, fired.append, (i,))
+            events.append((ev, cancel))
+        for ev, cancel in events:
+            if cancel:
+                ev.cancel()
+                q.note_cancelled()
+        while (ev := q.pop()) is not None:
+            ev.fn(*ev.args)
+        cancelled = {i for i, (_, c) in enumerate(spec) if c}
+        assert set(fired) == set(range(len(spec))) - cancelled
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=100), st.integers(0, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_simulator_clock_monotone(self, delays, seed):
+        sim = Simulator(seed=seed)
+        seen = []
+        for d in delays:
+            sim.schedule(d, lambda: seen.append(sim.now))
+        sim.run_until(2_000)
+        assert seen == sorted(seen)
+        assert sim.now == 2_000
+
+
+class TestApicProperties:
+    @given(st.lists(st.integers(0x10, 0xFF), max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_emulated_apic_never_loses_or_duplicates(self, vectors):
+        apic = EmulatedLapic()
+        injected = []
+        for v in vectors:
+            apic.set_irq(v)
+            while apic.can_inject():
+                injected.append(apic.inject())
+                apic.eoi()
+        while apic.can_inject():
+            injected.append(apic.inject())
+            apic.eoi()
+        # Every distinct pending vector is eventually delivered exactly as
+        # many times as it was distinct-pending (coalescing allowed).
+        assert set(injected) == set(vectors)
+        assert apic.irr == set() and apic.isr == set()
+
+    @given(st.lists(st.integers(0x10, 0xFF), max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_vapic_pir_sync_preserves_vectors(self, vectors):
+        vapic = VApicPage()
+        for v in vectors:
+            vapic.pi_desc.post(v)
+        vapic.sync_pir_to_virr()
+        delivered = []
+        while vapic.has_deliverable():
+            delivered.append(vapic.deliver())
+            vapic.eoi()
+        assert set(delivered) == set(vectors)
+        # Priority order: delivered from highest to lowest.
+        assert delivered == sorted(delivered, reverse=True)
+
+
+class BusyThread(Thread):
+    def __init__(self, machine, name, nice=0):
+        super().__init__(machine, name, nice=nice, pinned_core=0)
+
+    def body(self):
+        while True:
+            yield Consume(MS, CpuMode.KERNEL)
+
+
+class TestCfsProperties:
+    @given(st.integers(2, 6), st.integers(0, 3))
+    @settings(max_examples=10, deadline=None)
+    def test_equal_weights_near_equal_shares(self, n_threads, seed):
+        sim = Simulator(seed=seed)
+        m = make_machine(sim, n_cores=1)
+        threads = [BusyThread(m, f"t{i}") for i in range(n_threads)]
+        for t in threads:
+            m.spawn(t)
+        sim.run_until(SEC)
+        execs = [t.sum_exec for t in threads]
+        assert sum(execs) > 0.95 * SEC
+        lo, hi = min(execs), max(execs)
+        # CFS bounds unfairness by roughly one scheduling period.
+        assert hi - lo < 2 * m.sched_params.sched_latency_ns
+
+    @given(st.integers(1, 5))
+    @settings(max_examples=8, deadline=None)
+    def test_time_conservation_on_core(self, n_threads):
+        sim = Simulator(seed=1)
+        m = make_machine(sim, n_cores=1)
+        threads = [BusyThread(m, f"t{i}") for i in range(n_threads)]
+        for t in threads:
+            m.spawn(t)
+        sim.run_until(300 * MS)
+        total = sum(t.sum_exec for t in threads)
+        switch = m.cores[0].mode_time[CpuMode.SWITCH]
+        # Busy core: thread time + switch overhead accounts for ~all time.
+        assert total + switch <= 300 * MS
+        assert total + switch > 0.99 * 300 * MS

@@ -1,0 +1,91 @@
+"""Unit tests for the shared request/response machinery (macro workloads)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.configs import paper_config
+from repro.errors import WorkloadError
+from repro.experiments.testbed import single_vcpu_testbed
+from repro.net.packet import MSS
+from repro.units import MS, us
+from repro.workloads.rpc import ClosedLoopClient, GuestServiceFlow, Request, ServerWorkerTask
+
+
+def build_service(response_bytes=1000, service_ns=us(5), outstanding=4, connections=2):
+    tb = single_vcpu_testbed(paper_config("PI"), seed=21)
+    vmset = tb.tested
+    worker = ServerWorkerTask("w0", vmset.netstack, reply_to=tb.external.name)
+    vmset.guest_os.add_task(worker, 0)
+    flow_ids = []
+    for c in range(connections):
+        fid = f"tested/rpc-{c}"
+        GuestServiceFlow(vmset.netstack, fid, worker)
+        flow_ids.append(fid)
+    client = ClosedLoopClient(
+        tb, flow_ids, "tested", outstanding,
+        lambda rng: ("req", 150, service_ns, response_bytes),
+    )
+    return tb, worker, client
+
+
+class TestClosedLoop:
+    def test_outstanding_respected(self):
+        tb, worker, client = build_service()
+        client.start()
+        tb.run_for(100 * MS)
+        # Closed loop: in-flight never exceeds connections x outstanding.
+        in_flight = (client._next_conn) - client.completed
+        assert in_flight <= 2 * 4
+
+    def test_ops_per_sec_counts_window(self):
+        tb, worker, client = build_service()
+        client.start()
+        tb.run_for(50 * MS)
+        client.mark()
+        tb.run_for(100 * MS)
+        assert client.ops_per_sec() > 1000
+
+    def test_zero_outstanding_rejected(self):
+        tb = single_vcpu_testbed(paper_config("PI"), seed=21)
+        with pytest.raises(WorkloadError):
+            ClosedLoopClient(tb, ["f"], "tested", 0, lambda rng: ("req", 1, 1, 1))
+
+    def test_latency_counts_full_response(self):
+        tb, worker, client = build_service(response_bytes=3 * MSS)  # multi-segment
+        client.start()
+        tb.run_for(100 * MS)
+        assert client.completed > 10
+        # Only the final segment completes an op: completions match
+        # recorded latencies exactly.
+        assert client.latency.count == client.completed
+
+
+class TestServerWorker:
+    def test_segments_large_responses(self):
+        tb, worker, client = build_service(response_bytes=4000)
+        client.start()
+        tb.run_for(50 * MS)
+        assert worker.served > 5
+        # 4000B -> ceil(4000/MSS) = 3 segments per response on the wire.
+        assert tb.tested.device.tx_wire_packets >= worker.served * 3
+
+    def test_worker_blocks_when_idle(self):
+        tb = single_vcpu_testbed(paper_config("PI"), seed=21)
+        worker = ServerWorkerTask("idle", tb.tested.netstack, reply_to=tb.external.name)
+        tb.tested.guest_os.add_task(worker, 0)
+        tb.run_for(20 * MS)
+        from repro.guest.tasks import TaskState
+
+        assert worker.state is TaskState.BLOCKED
+        assert worker.served == 0
+
+    def test_enqueue_wakes_worker(self):
+        tb = single_vcpu_testbed(paper_config("PI"), seed=21)
+        worker = ServerWorkerTask("w", tb.tested.netstack, reply_to=tb.external.name)
+        tb.tested.guest_os.add_task(worker, 0)
+        tb.external.register_flow("manual", lambda p: None)
+        tb.run_for(10 * MS)
+        worker.enqueue(Request("manual", "req", us(3), 500, tb.sim.now, 0))
+        tb.run_for(10 * MS)
+        assert worker.served == 1

@@ -1,0 +1,363 @@
+"""Integration tests for the core dispatch engine + CFS."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sched.thread import Block, Consume, CpuMode, Thread, ThreadState, YieldCPU
+from repro.units import MS, SEC, US
+from tests.conftest import make_machine
+
+
+class BusyThread(Thread):
+    """Burns CPU forever in fixed-size chunks."""
+
+    def __init__(self, machine, name, chunk=MS, nice=0, pinned_core=None):
+        super().__init__(machine, name, nice=nice, pinned_core=pinned_core)
+        self.chunk = chunk
+
+    def body(self):
+        while True:
+            yield Consume(self.chunk, CpuMode.KERNEL)
+
+
+class FiniteThread(Thread):
+    """Consumes a fixed total amount of CPU then exits."""
+
+    def __init__(self, machine, name, total, pinned_core=None):
+        super().__init__(machine, name, pinned_core=pinned_core)
+        self.total = total
+        self.done_at = None
+
+    def body(self):
+        yield Consume(self.total, CpuMode.KERNEL)
+        self.done_at = self.sim.now
+
+
+class SleeperThread(Thread):
+    """Alternates a short CPU burst with a timed sleep."""
+
+    def __init__(self, machine, name, burst=100 * US, sleep=MS, pinned_core=None):
+        super().__init__(machine, name, pinned_core=pinned_core)
+        self.burst = burst
+        self.sleep_ns = sleep
+        self.wakeup_latencies = []
+
+    def body(self):
+        while True:
+            yield Consume(self.burst, CpuMode.KERNEL)
+            wanted = self.sim.now + self.sleep_ns
+            self.sim.schedule(self.sleep_ns, self.wake)
+            yield Block()
+            self.wakeup_latencies.append(self.sim.now - wanted)
+
+
+class TestBasicExecution:
+    def test_single_thread_consumes_time(self, sim):
+        m = make_machine(sim, n_cores=1)
+        t = FiniteThread(m, "t", total=10 * MS, pinned_core=0)
+        m.spawn(t)
+        sim.run_until(SEC)
+        assert t.state is ThreadState.FINISHED
+        assert t.sum_exec == 10 * MS
+        # Completion time = ctx switch + work.
+        assert t.done_at == m.cost.ctx_switch_ns + 10 * MS
+
+    def test_two_threads_share_one_core_fairly(self, sim):
+        m = make_machine(sim, n_cores=1)
+        a = BusyThread(m, "a", pinned_core=0)
+        b = BusyThread(m, "b", pinned_core=0)
+        m.spawn(a)
+        m.spawn(b)
+        sim.run_until(SEC)
+        # Equal weights => near-equal CPU shares.
+        assert a.sum_exec + b.sum_exec > int(0.95 * SEC)
+        ratio = a.sum_exec / b.sum_exec
+        assert 0.9 < ratio < 1.1
+
+    def test_four_threads_on_one_core_quarter_share(self, sim):
+        m = make_machine(sim, n_cores=1)
+        threads = [BusyThread(m, f"t{i}", pinned_core=0) for i in range(4)]
+        for t in threads:
+            m.spawn(t)
+        sim.run_until(SEC)
+        for t in threads:
+            assert 0.2 * SEC < t.sum_exec < 0.3 * SEC
+
+    def test_nice_weights_bias_shares(self, sim):
+        m = make_machine(sim, n_cores=1)
+        hi = BusyThread(m, "hi", nice=0, pinned_core=0)
+        lo = BusyThread(m, "lo", nice=10, pinned_core=0)
+        m.spawn(hi)
+        m.spawn(lo)
+        sim.run_until(SEC)
+        # nice 10 weight is ~1/10 of nice 0.
+        assert hi.sum_exec > 5 * lo.sum_exec
+
+    def test_threads_spread_across_idle_cores(self, sim):
+        m = make_machine(sim, n_cores=4)
+        threads = [BusyThread(m, f"t{i}") for i in range(4)]
+        for t in threads:
+            m.spawn(t)
+        sim.run_until(100 * MS)
+        cores_used = {t.core.index for t in threads}
+        assert len(cores_used) == 4
+        for t in threads:
+            assert t.sum_exec > int(0.9 * 100 * MS)
+
+    def test_finished_thread_releases_core(self, sim):
+        m = make_machine(sim, n_cores=1)
+        short = FiniteThread(m, "short", total=MS, pinned_core=0)
+        long_ = FiniteThread(m, "long", total=5 * MS, pinned_core=0)
+        m.spawn(short)
+        m.spawn(long_)
+        sim.run_until(SEC)
+        assert short.state is ThreadState.FINISHED
+        assert long_.state is ThreadState.FINISHED
+        assert m.cores[0].is_idle
+
+
+class TestBlockingAndWakeup:
+    def test_sleeper_wakes_promptly_on_idle_core(self, sim):
+        m = make_machine(sim, n_cores=1)
+        s = SleeperThread(m, "s", pinned_core=0)
+        m.spawn(s)
+        sim.run_until(50 * MS)
+        assert len(s.wakeup_latencies) > 10
+        # On an idle core the only latency is the context switch.
+        assert max(s.wakeup_latencies) <= m.cost.ctx_switch_ns + m.sched_params.tick_ns
+
+    def test_sleeper_preempts_cpu_hog(self, sim):
+        m = make_machine(sim, n_cores=1)
+        hog = BusyThread(m, "hog", pinned_core=0)
+        s = SleeperThread(m, "s", burst=50 * US, sleep=5 * MS, pinned_core=0)
+        m.spawn(hog)
+        m.spawn(s)
+        sim.run_until(SEC)
+        assert len(s.wakeup_latencies) > 100
+        # Sleeper credit lets it preempt the hog quickly (well under a slice).
+        avg = sum(s.wakeup_latencies) / len(s.wakeup_latencies)
+        assert avg < 2 * MS
+        # And the hog still gets the vast majority of the CPU.
+        assert hog.sum_exec > int(0.8 * SEC)
+
+    def test_wake_before_block_is_not_lost(self, sim):
+        m = make_machine(sim, n_cores=1)
+
+        class RaceThread(Thread):
+            def __init__(self, machine):
+                super().__init__(machine, "race", pinned_core=0)
+                self.loops = 0
+
+            def body(self):
+                while self.loops < 3:
+                    self.wake()  # wake *before* blocking
+                    yield Block()
+                    self.loops += 1
+
+        t = RaceThread(m)
+        m.spawn(t)
+        sim.run_until(10 * MS)
+        assert t.loops == 3
+        assert t.state is ThreadState.FINISHED
+
+    def test_wake_blocked_thread_from_event(self, sim):
+        m = make_machine(sim, n_cores=2)
+
+        class Waiter(Thread):
+            def __init__(self, machine):
+                super().__init__(machine, "waiter")
+                self.woken_at = None
+
+            def body(self):
+                yield Block()
+                self.woken_at = self.sim.now
+
+        w = Waiter(m)
+        m.spawn(w)
+        sim.schedule(7 * MS, w.wake)
+        sim.run_until(20 * MS)
+        assert w.woken_at is not None
+        assert 7 * MS <= w.woken_at <= 7 * MS + 2 * m.cost.ctx_switch_ns
+
+
+class TestPreemptionExactness:
+    def test_segment_survives_preemption(self, sim):
+        """A long CPU request completes with exactly the requested time even
+        when the thread is preempted many times in the middle."""
+        m = make_machine(sim, n_cores=1)
+        worker = FiniteThread(m, "w", total=200 * MS, pinned_core=0)
+        hog = BusyThread(m, "hog", pinned_core=0)
+        m.spawn(worker)
+        m.spawn(hog)
+        sim.run_until(SEC)
+        assert worker.state is ThreadState.FINISHED
+        assert worker.sum_exec == 200 * MS
+
+    def test_poke_resumes_early_with_consumed_time(self, sim):
+        m = make_machine(sim, n_cores=1)
+
+        class Pokeable(Thread):
+            def __init__(self, machine):
+                super().__init__(machine, "pokee", pinned_core=0)
+                self.observations = []
+
+            def body(self):
+                consumed = yield Consume(10 * MS, CpuMode.KERNEL, interruptible=True)
+                self.observations.append((self.sim.now, consumed))
+                yield Consume(10 * MS - consumed, CpuMode.KERNEL)
+
+        t = Pokeable(m)
+        m.spawn(t)
+        sim.schedule(3 * MS, t.poke)
+        sim.run_until(SEC)
+        assert len(t.observations) == 1
+        when, consumed = t.observations[0]
+        assert when == 3 * MS
+        assert consumed == 3 * MS - m.cost.ctx_switch_ns
+        assert t.sum_exec == 10 * MS  # total work conserved
+
+    def test_poke_before_yield_is_delivered_immediately(self, sim):
+        m = make_machine(sim, n_cores=1)
+
+        class T(Thread):
+            def __init__(self, machine):
+                super().__init__(machine, "t", pinned_core=0)
+                self.first_consumed = None
+
+            def body(self):
+                self.poke()  # poke myself before the interruptible yield
+                self.first_consumed = yield Consume(MS, CpuMode.KERNEL, interruptible=True)
+                yield Consume(MS)
+
+        t = T(m)
+        m.spawn(t)
+        sim.run_until(10 * MS)
+        assert t.first_consumed == 0
+
+    def test_noninterruptible_segment_ignores_poke(self, sim):
+        m = make_machine(sim, n_cores=1)
+
+        class T(Thread):
+            def __init__(self, machine):
+                super().__init__(machine, "t", pinned_core=0)
+                self.consumed = None
+
+            def body(self):
+                self.consumed = yield Consume(5 * MS, CpuMode.KERNEL)
+
+        t = T(m)
+        m.spawn(t)
+        sim.schedule(MS, t.poke)
+        sim.run_until(SEC)
+        assert t.consumed == 5 * MS
+        assert t._poke_pending  # remembered, not lost
+
+
+class TestYield:
+    def test_yield_rotates_between_threads(self, sim):
+        m = make_machine(sim, n_cores=1)
+        order = []
+
+        class Yielder(Thread):
+            def __init__(self, machine, name):
+                super().__init__(machine, name, pinned_core=0)
+
+            def body(self):
+                for _ in range(3):
+                    yield Consume(100 * US, CpuMode.KERNEL)
+                    order.append(self.name)
+                    yield YieldCPU()
+
+        a = Yielder(m, "a")
+        b = Yielder(m, "b")
+        m.spawn(a)
+        m.spawn(b)
+        sim.run_until(100 * MS)
+        assert sorted(order) == ["a", "a", "a", "b", "b", "b"]
+        # They interleave rather than running to completion back-to-back.
+        assert order != ["a", "a", "a", "b", "b", "b"]
+
+
+class TestAccounting:
+    def test_mode_accounting_sums_to_exec(self, sim):
+        m = make_machine(sim, n_cores=1)
+
+        class Mixed(Thread):
+            def __init__(self, machine):
+                super().__init__(machine, "mixed", pinned_core=0)
+
+            def body(self):
+                yield Consume(3 * MS, CpuMode.GUEST)
+                yield Consume(2 * MS, CpuMode.HOST)
+                yield Consume(1 * MS, CpuMode.KERNEL)
+
+        t = Mixed(m)
+        m.spawn(t)
+        sim.run_until(SEC)
+        assert t.mode_exec[CpuMode.GUEST] == 3 * MS
+        assert t.mode_exec[CpuMode.HOST] == 2 * MS
+        assert t.mode_exec[CpuMode.KERNEL] == 1 * MS
+        assert t.sum_exec == 6 * MS
+
+    def test_core_mode_time_matches_threads(self, sim):
+        m = make_machine(sim, n_cores=1)
+        t = FiniteThread(m, "t", total=4 * MS, pinned_core=0)
+        m.spawn(t)
+        sim.run_until(SEC)
+        assert m.cores[0].mode_time[CpuMode.KERNEL] == 4 * MS
+        assert m.cores[0].ctx_switches >= 1
+
+    def test_busy_fraction(self, sim):
+        m = make_machine(sim, n_cores=2)
+        t = BusyThread(m, "t", pinned_core=0)
+        m.spawn(t)
+        sim.run_until(100 * MS)
+        frac = m.busy_fraction(sim.now)
+        assert 0.45 < frac < 0.55  # one of two cores busy
+
+
+class TestNotifiers:
+    def test_vcpu_notifiers_fire(self, sim):
+        m = make_machine(sim, n_cores=1)
+        events = []
+
+        class FakeVcpuThread(BusyThread):
+            is_vcpu = True
+
+        from repro.sched.notifier import PreemptionNotifier
+
+        m.notifiers.register(
+            PreemptionNotifier(
+                sched_in=lambda t, c: events.append(("in", t.name)),
+                sched_out=lambda t, c: events.append(("out", t.name)),
+            )
+        )
+        a = FakeVcpuThread(m, "vcpu0", pinned_core=0)
+        b = FakeVcpuThread(m, "vcpu1", pinned_core=0)
+        m.spawn(a)
+        m.spawn(b)
+        sim.run_until(200 * MS)
+        assert ("in", "vcpu0") in events
+        assert ("out", "vcpu0") in events
+        assert ("in", "vcpu1") in events
+        # in/out alternate per thread
+        per_thread = [e for e in events if e[1] == "vcpu0"]
+        for i in range(len(per_thread) - 1):
+            assert per_thread[i][0] != per_thread[i + 1][0]
+
+    def test_ordinary_threads_do_not_fire_notifiers(self, sim):
+        m = make_machine(sim, n_cores=1)
+        events = []
+        from repro.sched.notifier import PreemptionNotifier
+
+        m.notifiers.register(
+            PreemptionNotifier(
+                sched_in=lambda t, c: events.append(t.name),
+                sched_out=lambda t, c: events.append(t.name),
+            )
+        )
+        t = FiniteThread(m, "plain", total=MS, pinned_core=0)
+        m.spawn(t)
+        sim.run_until(10 * MS)
+        assert events == []

@@ -1,0 +1,168 @@
+"""Unit tests for CFS policy details and wakeup placement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SchedParams
+from repro.errors import SchedulerError
+from repro.sched.cfs import CfsRunqueue, NICE_0_WEIGHT, nice_to_weight
+from repro.sched.thread import Consume, CpuMode, Thread
+from repro.units import MS
+from tests.conftest import make_machine
+
+
+class DummyThread(Thread):
+    def body(self):
+        while True:
+            yield Consume(MS, CpuMode.KERNEL)
+
+
+def make_rq():
+    return CfsRunqueue(SchedParams())
+
+
+def make_thread(machine, name, nice=0):
+    return DummyThread(machine, name, nice=nice)
+
+
+class TestWeights:
+    def test_nice0_weight(self):
+        assert nice_to_weight(0) == NICE_0_WEIGHT
+
+    def test_table_monotone(self):
+        weights = [nice_to_weight(n) for n in range(-20, 20)]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_each_nice_step_about_10_percent(self):
+        # Linux's design target: +1 nice ~= -10% CPU (weight ratio ~1.25
+        # between adjacent levels).
+        for n in range(-20, 19):
+            ratio = nice_to_weight(n) / nice_to_weight(n + 1)
+            assert 1.15 < ratio < 1.35
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(SchedulerError):
+            nice_to_weight(20)
+
+
+class TestRunqueue:
+    def test_pick_next_lowest_vruntime(self, machine):
+        rq = make_rq()
+        a = make_thread(machine, "a")
+        b = make_thread(machine, "b")
+        a.vruntime, b.vruntime = 100, 50
+        rq.enqueue(a, wakeup=False)
+        rq.enqueue(b, wakeup=False)
+        assert rq.pick_next() is b
+
+    def test_double_enqueue_rejected(self, machine):
+        rq = make_rq()
+        t = make_thread(machine, "t")
+        rq.enqueue(t, wakeup=False)
+        with pytest.raises(SchedulerError):
+            rq.enqueue(t, wakeup=False)
+
+    def test_dequeue_unknown_rejected(self, machine):
+        rq = make_rq()
+        with pytest.raises(SchedulerError):
+            rq.dequeue(make_thread(machine, "t"))
+
+    def test_wakeup_placement_grants_bounded_credit(self, machine):
+        rq = make_rq()
+        rq.min_vruntime = 100 * MS
+        sleeper = make_thread(machine, "s")
+        sleeper.vruntime = 0  # slept for ages
+        rq.enqueue(sleeper, wakeup=True)
+        # Credit is capped at half the sleeper bonus, not unlimited.
+        expected = 100 * MS - rq.params.sleeper_bonus_ns // 2
+        assert sleeper.vruntime == expected
+
+    def test_wakeup_placement_never_moves_backwards(self, machine):
+        rq = make_rq()
+        rq.min_vruntime = 10
+        t = make_thread(machine, "t")
+        t.vruntime = 500
+        rq.enqueue(t, wakeup=True)
+        assert t.vruntime == 500
+
+    def test_update_curr_scales_by_weight(self, machine):
+        rq = make_rq()
+        light = make_thread(machine, "light", nice=5)
+        heavy = make_thread(machine, "heavy", nice=-5)
+        rq.update_curr(light, MS)
+        rq.update_curr(heavy, MS)
+        assert light.vruntime > heavy.vruntime
+
+    def test_min_vruntime_monotone(self, machine):
+        rq = make_rq()
+        t = make_thread(machine, "t")
+        rq.enqueue(t, wakeup=False)
+        before = rq.min_vruntime
+        rq.update_curr(t, 10 * MS)
+        assert rq.min_vruntime >= before
+
+    def test_sched_slice_shrinks_with_load(self, machine):
+        rq = make_rq()
+        threads = [make_thread(machine, f"t{i}") for i in range(8)]
+        current = threads[0]
+        slice_alone = rq.sched_slice(current, current)
+        for t in threads[1:]:
+            rq.enqueue(t, wakeup=False)
+        slice_loaded = rq.sched_slice(current, current)
+        assert slice_loaded < slice_alone
+        assert slice_loaded >= rq.params.min_granularity_ns
+
+    def test_tick_preemption_requires_waiters(self, machine):
+        rq = make_rq()
+        t = make_thread(machine, "t")
+        assert rq.should_preempt_on_tick(t, ran_ns=100 * MS) is False
+
+    def test_wakeup_preemption_hysteresis(self, machine):
+        rq = make_rq()
+        curr = make_thread(machine, "curr")
+        woken = make_thread(machine, "woken")
+        curr.vruntime = woken.vruntime + rq.params.wakeup_granularity_ns // 2
+        assert rq.should_preempt_on_wakeup(curr, woken) is False
+        curr.vruntime = woken.vruntime + 2 * rq.params.wakeup_granularity_ns
+        assert rq.should_preempt_on_wakeup(curr, woken) is True
+
+
+class TestPlacement:
+    def test_pinned_thread_goes_to_its_core(self, sim):
+        m = make_machine(sim, n_cores=4)
+        t = DummyThread(m, "t", nice=0)
+        t.pinned_core = 2
+        m.spawn(t)
+        sim.run_for(5 * MS)
+        assert t.core is m.cores[2]
+
+    def test_pin_out_of_range_rejected(self, sim):
+        m = make_machine(sim, n_cores=2)
+        t = DummyThread(m, "t")
+        t.pinned_core = 9
+        with pytest.raises(SchedulerError):
+            m.spawn(t)
+
+    def test_unpinned_prefers_idle_core(self, sim):
+        m = make_machine(sim, n_cores=4)
+        hog = DummyThread(m, "hog")
+        hog.pinned_core = 0
+        m.spawn(hog)
+        sim.run_for(MS)
+        free = DummyThread(m, "free")
+        m.spawn(free)
+        sim.run_for(MS)
+        assert free.core.index != 0
+
+    def test_all_busy_picks_least_loaded(self, sim):
+        m = make_machine(sim, n_cores=2)
+        for i in range(3):
+            t = DummyThread(m, f"t{i}")
+            t.pinned_core = 0 if i < 2 else 1
+            m.spawn(t)
+        sim.run_for(MS)
+        newcomer = DummyThread(m, "new")
+        m.spawn(newcomer)
+        sim.run_for(MS)
+        assert newcomer.core.index == 1  # core 1 had 1 thread, core 0 had 2

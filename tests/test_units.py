@@ -1,0 +1,46 @@
+"""Unit tests for unit conversions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+
+
+class TestTime:
+    def test_constants(self):
+        assert units.US == 1_000
+        assert units.MS == 1_000_000
+        assert units.SEC == 1_000_000_000
+
+    def test_us_ms_seconds(self):
+        assert units.us(1.5) == 1_500
+        assert units.ms(2) == 2_000_000
+        assert units.seconds(0.25) == 250_000_000
+
+    def test_round_trips(self):
+        assert units.to_seconds(units.seconds(1.25)) == pytest.approx(1.25)
+        assert units.to_us(units.us(7.5)) == pytest.approx(7.5)
+        assert units.to_ms(units.ms(3.25)) == pytest.approx(3.25)
+
+    def test_rate_per_sec(self):
+        assert units.rate_per_sec(100, units.seconds(2)) == pytest.approx(50.0)
+        assert units.rate_per_sec(100, 0) == 0.0
+
+
+class TestData:
+    def test_transmit_time_40g(self):
+        # 1500 bytes at 40 Gbps = 300 ns.
+        assert units.transmit_time_ns(1500, 40.0) == 300
+
+    def test_transmit_time_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            units.transmit_time_ns(1500, 0)
+
+    def test_throughput_gbps(self):
+        # 5 MB in 1 ms => 40 Gbps.
+        assert units.throughput_gbps(5_000_000, units.ms(1)) == pytest.approx(40.0)
+        assert units.throughput_gbps(1000, 0) == 0.0
+
+    def test_gbps_to_bytes_per_ns(self):
+        assert units.gbps_to_bytes_per_ns(8.0) == pytest.approx(1.0)

@@ -1,0 +1,179 @@
+"""Tests for the vhost backend: worker, stock handler, hybrid Algorithm 1."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import FeatureSet
+from repro.guest.os import GuestOS
+from repro.kvm.hypervisor import Kvm
+from repro.net.packet import Packet
+from repro.units import MS, US, us
+from repro.vhost.hybrid import HybridTxHandler
+from repro.vhost.net import VhostNet
+from repro.virtio.device import VirtioNetDevice
+from repro.virtio.frontend import VirtioNetDriver
+from tests.conftest import make_machine
+
+
+def build_device(sim, features=None, n_cores=4):
+    from repro.hw.nic import Link, Nic
+
+    m = make_machine(sim, n_cores=n_cores)
+    kvm = Kvm(m)
+    vm = kvm.create_vm("vm0", 1, features or FeatureSet(), vcpu_pinning=[0])
+    os = GuestOS(vm)
+    device = VirtioNetDevice(vm)
+    vhost = VhostNet(device, pinned_core=1)
+    driver = VirtioNetDriver(os, device)
+    peer = Nic(sim, "peer")
+    peer.set_rx_handler(lambda p: None)
+    Link(sim, m.nic, peer, rate_gbps=40.0)
+    return m, kvm, vm, device, vhost
+
+
+def push_packets(device, n, size=500):
+    for i in range(n):
+        device.txq.push(Packet("f", "data", size, dst="peer", seq=i))
+
+
+class TestVhostNetAssembly:
+    def test_stock_handler_without_hybrid(self, sim):
+        m, kvm, vm, device, vhost = build_device(sim, FeatureSet())
+        assert not vhost.hybrid
+        assert device.txq.backend is vhost.tx_handler
+
+    def test_hybrid_handler_with_feature(self, sim):
+        m, kvm, vm, device, vhost = build_device(sim, FeatureSet(pi=True, hybrid=True, quota=8))
+        assert vhost.hybrid
+        assert isinstance(vhost.tx_handler, HybridTxHandler)
+        assert vhost.tx_handler.quota == 8
+
+    def test_double_backend_rejected(self, sim):
+        m, kvm, vm, device, vhost = build_device(sim)
+        from repro.errors import VirtioError
+
+        with pytest.raises(VirtioError):
+            VhostNet(device)
+
+
+class TestStockHandler:
+    def test_drains_queue_and_rearms_notify(self, sim):
+        m, kvm, vm, device, vhost = build_device(sim)
+        push_packets(device, 5)
+        device.txq.suppress_notify()  # a kick happened (one-shot consumed)
+        vhost.tx_handler.on_guest_kick()
+        sim.run_until(5 * MS)
+        assert len(device.txq) == 0
+        assert vhost.tx_handler.packets == 5
+        # Ring drained: notification re-armed, so the next publish kicks.
+        assert not device.txq.notify_suppressed
+
+    def test_worker_sleeps_when_idle(self, sim):
+        m, kvm, vm, device, vhost = build_device(sim)
+        sim.run_until(10 * MS)
+        from repro.sched.thread import ThreadState
+
+        assert vhost.worker.state is ThreadState.BLOCKED
+        exec_before = vhost.worker.sum_exec
+        sim.run_for(50 * MS)
+        # No work, (almost) no CPU: this is what distinguishes the hybrid
+        # scheme from ELVIS-style dedicated-core polling.
+        assert vhost.worker.sum_exec == exec_before
+
+    def test_transmits_to_wire(self, sim):
+        m, kvm, vm, device, vhost = build_device(sim)
+        wire = []
+        device.machine.nic.send = lambda p: wire.append(p)
+        push_packets(device, 3)
+        vhost.tx_handler.on_guest_kick()
+        sim.run_until(MS)
+        assert len(wire) == 3
+        assert [p.seq for p in wire] == [0, 1, 2]
+
+
+class TestHybridHandler:
+    def test_quota_hit_keeps_notifications_suppressed(self, sim):
+        m, kvm, vm, device, vhost = build_device(sim, FeatureSet(pi=True, hybrid=True, quota=4))
+        push_packets(device, 10)
+        vhost.tx_handler.on_guest_kick()
+        # Sample just after the first quota round completed.
+        first_round_end = m.cost.poll_entry_delay_ns + 30 * US
+        sim.run_until(first_round_end)
+        h = vhost.tx_handler
+        assert h.quota_hits >= 1
+        # Mid-polling: notifications must stay disabled (no kicks/exits).
+        assert device.txq.notify_suppressed
+        sim.run_until(5 * MS)
+        # All packets eventually drained across quota rounds.
+        assert h.packets == 10
+        # Queue drained below quota: back to notification mode (re-armed).
+        assert h.drained == 1
+        assert not device.txq.notify_suppressed
+
+    def test_drain_below_quota_returns_to_notification(self, sim):
+        m, kvm, vm, device, vhost = build_device(sim, FeatureSet(pi=True, hybrid=True, quota=8))
+        push_packets(device, 3)  # fewer than the quota
+        vhost.tx_handler.on_guest_kick()
+        sim.run_until(5 * MS)
+        h = vhost.tx_handler
+        assert h.packets == 3
+        assert h.quota_hits == 0
+        assert h.drained == 1
+        assert not device.txq.notify_suppressed
+
+    def test_poll_entry_delay_defers_first_round(self, sim):
+        m, kvm, vm, device, vhost = build_device(sim, FeatureSet(pi=True, hybrid=True, quota=4))
+        push_packets(device, 1)
+        t0 = sim.now
+        vhost.tx_handler.on_guest_kick()
+        delay = m.cost.poll_entry_delay_ns
+        sim.run_until(t0 + delay - us(1))
+        assert vhost.tx_handler.packets == 0  # still waiting to be scheduled
+        sim.run_until(t0 + delay + 50 * US)
+        assert vhost.tx_handler.packets == 1
+
+    def test_repoll_delay_spaces_quota_rounds(self, sim):
+        m, kvm, vm, device, vhost = build_device(sim, FeatureSet(pi=True, hybrid=True, quota=2))
+        push_packets(device, 6)
+        vhost.tx_handler.on_guest_kick()
+        sim.run_until(20 * MS)
+        h = vhost.tx_handler
+        assert h.packets == 6
+        assert h.quota_hits == 3  # 3 rounds of 2
+
+
+class TestRxHandler:
+    def test_moves_backlog_to_rxq_and_signals(self, sim):
+        m, kvm, vm, device, vhost = build_device(sim)
+        raised = []
+        device.raise_rx_interrupt = lambda: raised.append(sim.now)
+        device.enqueue_from_wire(Packet("f", "data", 500, dst="vm0"))
+        device.enqueue_from_wire(Packet("f", "data", 500, dst="vm0"))
+        sim.run_until(MS)
+        assert len(device.rxq) == 2
+        assert len(device.backlog) == 0
+        assert len(raised) == 1  # one signal per service round
+
+    def test_ring_full_stalls_until_guest_pops(self, sim):
+        m, kvm, vm, device, vhost = build_device(sim)
+        device.raise_rx_interrupt = lambda: None
+        for _ in range(device.rxq.size + 10):
+            device.enqueue_from_wire(Packet("f", "data", 300, dst="vm0"))
+        sim.run_until(10 * MS)
+        assert len(device.rxq) == device.rxq.size
+        assert len(device.backlog) == 10
+        # Guest drains a few; the handler resumes.
+        for _ in range(10):
+            device.rxq.pop()
+        device.on_guest_rx_pop()
+        sim.run_until(20 * MS)
+        assert len(device.backlog) == 0
+
+    def test_tap_backlog_drops_when_full(self, sim):
+        m, kvm, vm, device, vhost = build_device(sim)
+        device.vhost = None  # prevent servicing so the backlog fills
+        for _ in range(device.backlog_capacity + 5):
+            device.enqueue_from_wire(Packet("f", "data", 300, dst="vm0"))
+        assert device.backlog_drops == 5
+        assert len(device.backlog) == device.backlog_capacity

@@ -1,0 +1,130 @@
+"""Unit and property-based tests for the virtqueue model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import VirtioError
+from repro.virtio.ring import Virtqueue
+
+
+class TestRingBasics:
+    def test_fifo_order(self):
+        q = Virtqueue("q", size=8)
+        for i in range(5):
+            q.push(i)
+        assert [q.pop() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_pop_empty_returns_none(self):
+        assert Virtqueue("q").pop() is None
+
+    def test_capacity_enforced(self):
+        q = Virtqueue("q", size=2)
+        q.push(1)
+        q.push(2)
+        assert q.is_full
+        with pytest.raises(VirtioError):
+            q.push(3)
+
+    def test_free_slots(self):
+        q = Virtqueue("q", size=4)
+        q.push(1)
+        assert q.free_slots() == 3
+
+    def test_size_must_be_positive(self):
+        with pytest.raises(VirtioError):
+            Virtqueue("q", size=0)
+
+    def test_peek_does_not_consume(self):
+        q = Virtqueue("q")
+        q.push("a")
+        assert q.peek() == "a"
+        assert len(q) == 1
+
+    @given(st.lists(st.integers(), max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_no_loss_no_duplication(self, items):
+        q = Virtqueue("q", size=100)
+        for item in items:
+            q.push(item)
+        out = []
+        while (x := q.pop()) is not None:
+            out.append(x)
+        assert out == items
+
+
+class TestEventIdxKicks:
+    """EVENT_IDX semantics: one notification per backend arming."""
+
+    def test_first_kick_fires_then_suppressed(self):
+        q = Virtqueue("q")
+        assert q.guest_should_kick() is True
+        # The kick consumed the arming: no more kicks until re-armed.
+        assert q.guest_should_kick() is False
+        assert q.guest_should_kick() is False
+
+    def test_enable_notify_rearms(self):
+        q = Virtqueue("q")
+        assert q.guest_should_kick()
+        q.enable_notify()
+        assert q.guest_should_kick() is True
+
+    def test_suppress_notify_disarms(self):
+        q = Virtqueue("q")
+        q.suppress_notify()
+        assert q.guest_should_kick() is False
+
+    def test_kick_stats(self):
+        q = Virtqueue("q")
+        q.note_kick(exited=True)
+        q.note_kick(exited=False)
+        q.note_kick(exited=False)
+        assert q.kicks_exited == 1
+        assert q.kicks_suppressed == 2
+
+    def test_backend_notified_requires_backend(self):
+        with pytest.raises(VirtioError):
+            Virtqueue("q").backend_notified()
+
+    def test_backend_notified_dispatches(self):
+        class FakeHandler:
+            kicked = 0
+
+            def on_guest_kick(self):
+                self.kicked += 1
+
+        q = Virtqueue("q")
+        h = FakeHandler()
+        q.backend = h
+        q.backend_notified()
+        assert h.kicked == 1
+
+
+class TestInterruptSuppression:
+    def test_default_wants_interrupts(self):
+        assert Virtqueue("q").guest_wants_interrupt() is True
+
+    def test_suppress_and_enable(self):
+        q = Virtqueue("q")
+        q.suppress_interrupts()
+        assert not q.guest_wants_interrupt()
+        q.enable_interrupts()
+        assert q.guest_wants_interrupt()
+
+
+class TestSpaceCallback:
+    def test_fires_on_full_to_nonfull_transition(self):
+        q = Virtqueue("q", size=2)
+        calls = []
+        q.space_callback = lambda: calls.append(len(q))
+        q.push(1)
+        q.pop()  # ring was not full: no callback
+        assert calls == []
+        q.push(1)
+        q.push(2)
+        q.pop()  # full -> not full: callback
+        assert len(calls) == 1
+        q.pop()
+        assert len(calls) == 1

@@ -1,0 +1,111 @@
+"""Integration tests for the macro workloads (memcached/apache/httperf)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.configs import paper_config
+from repro.experiments.testbed import multiplexed_testbed, single_vcpu_testbed
+from repro.units import MS, SEC
+from repro.workloads.apache import ApacheWorkload
+from repro.workloads.httperf import HttperfWorkload
+from repro.workloads.memcached import MemcachedWorkload
+
+
+class TestMemcached:
+    def test_closed_loop_conserves_outstanding(self):
+        tb = single_vcpu_testbed(paper_config("PI"), seed=7)
+        wl = MemcachedWorkload(tb, tb.tested, connections=4, concurrency=16)
+        wl.start()
+        tb.run_for(200 * MS)
+        # Ops complete and new requests keep the loop full.
+        assert wl.client.completed > 500
+        served = sum(w.served for w in wl.workers)
+        # Served ops can lead completed by at most the in-flight population.
+        assert 0 <= served - wl.client.completed <= 16 + 4
+
+    def test_get_set_mix(self):
+        tb = single_vcpu_testbed(paper_config("PI"), seed=7)
+        wl = MemcachedWorkload(tb, tb.tested, connections=4, concurrency=16, get_ratio=0.5)
+        wl.start()
+        tb.run_for(100 * MS)
+        assert wl.client.completed > 100
+
+    def test_latency_recorded(self):
+        tb = single_vcpu_testbed(paper_config("PI"), seed=7)
+        wl = MemcachedWorkload(tb, tb.tested, connections=4, concurrency=8)
+        wl.start()
+        tb.run_for(100 * MS)
+        assert wl.client.latency.count == wl.client.completed
+        assert wl.client.latency.percentile(50) > 0
+
+    def test_workers_one_per_vcpu(self):
+        tb = multiplexed_testbed(paper_config("PI"), seed=7)
+        wl = MemcachedWorkload(tb, tb.tested)
+        assert len(wl.workers) == tb.tested.vm.n_vcpus
+
+
+class TestApache:
+    def test_pages_served_complete(self):
+        tb = single_vcpu_testbed(paper_config("PI"), seed=7)
+        wl = ApacheWorkload(tb, tb.tested, concurrency=8)
+        wl.start()
+        tb.run_for(300 * MS)
+        assert wl.client.completed > 50
+        # 8KB pages arrive as 6 MSS segments; only the final one completes
+        # the op, so response segments = 6x completions (plus in flight).
+        served = sum(w.served for w in wl.workers)
+        assert served >= wl.client.completed
+
+    def test_throughput_readout(self):
+        tb = single_vcpu_testbed(paper_config("PI"), seed=7)
+        wl = ApacheWorkload(tb, tb.tested, concurrency=8)
+        wl.start()
+        tb.run_for(100 * MS)
+        wl.mark()
+        tb.run_for(200 * MS)
+        assert wl.requests_per_sec() > 100
+        assert wl.throughput_gbps() > 0
+
+
+class TestHttperf:
+    def test_low_rate_connects_fast(self):
+        tb = single_vcpu_testbed(paper_config("PI"), seed=7)
+        wl = HttperfWorkload(tb, tb.tested, rate_per_sec=500)
+        wl.start()
+        tb.run_for(1 * SEC)
+        assert len(wl.connect_times_ns) > 300
+        assert wl.syn_drops == 0
+        # Dedicated-core VM answers SYNs in well under a millisecond.
+        assert wl.avg_connect_time_ms() < 1.0
+
+    def test_overload_triggers_backlog_overflow(self):
+        tb = single_vcpu_testbed(paper_config("Baseline"), seed=7)
+        # A 1-vCPU VM at 350us/conn saturates near 2.8k/s; drive it well past.
+        wl = HttperfWorkload(tb, tb.tested, rate_per_sec=6000, backlog_size=16)
+        wl.start()
+        # Long enough for 1-second SYN retransmissions to complete.
+        tb.run_for(int(2.5 * SEC))
+        assert wl.syn_drops > 50
+        # Retransmissions push the average connection time way up.
+        assert wl.avg_connect_time_ms() > 20.0
+
+    def test_retransmission_gives_up_eventually(self, monkeypatch):
+        import repro.workloads.httperf as httperf_mod
+
+        monkeypatch.setattr(httperf_mod, "_MAX_RETRIES", 2)
+        tb = single_vcpu_testbed(paper_config("PI"), seed=7)
+        wl = HttperfWorkload(tb, tb.tested, rate_per_sec=100)
+        # Cut the wire: every SYN is lost.
+        tb.tested.device.enqueue_from_wire = lambda pkt: None
+        wl.start()
+        tb.run_for(4 * SEC)  # 2 tries: give-up after 1s + 2s
+        assert wl.failed > 0
+        assert not wl.connect_times_ns
+
+    def test_accepted_counts_match(self):
+        tb = single_vcpu_testbed(paper_config("PI"), seed=7)
+        wl = HttperfWorkload(tb, tb.tested, rate_per_sec=500)
+        wl.start()
+        tb.run_for(500 * MS)
+        assert wl.accepted <= len(wl.connect_times_ns) + len(wl.accept_backlog)
