@@ -1,0 +1,14 @@
+PYTHON ?= python
+
+.PHONY: test bench-smoke experiments
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# Reduced end-to-end sweep for CI (stays within a one-minute budget).
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest -q -m bench_smoke tests/test_bench_smoke.py
+
+# The full paper reproduction (long; parallel + cached by default).
+experiments:
+	PYTHONPATH=src $(PYTHON) scripts/run_all_experiments.py

@@ -2,11 +2,15 @@
 """Run every paper experiment and print the results (EXPERIMENTS.md source).
 
 This is the long-form run behind EXPERIMENTS.md; the benchmark suite runs
-the same experiments with shorter windows.
+the same experiments with shorter windows.  Sweep points fan out over
+worker processes (``--jobs``, default: all CPUs) and completed points are
+reused from the on-disk result cache unless ``--no-cache`` is given.
 """
 
 from __future__ import annotations
 
+import argparse
+import os
 import time
 
 from repro.experiments.ablations import format_redirect_ablation, run_redirect_policy_ablation
@@ -29,54 +33,93 @@ def stamp(label):
     print(f"\n===== {label} [{time.strftime('%H:%M:%S')}] =====", flush=True)
 
 
-def main() -> None:
+def parse_args(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="worker processes for sweeps (0 = all CPUs, 1 = serial)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every sweep point instead of consulting the result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result-cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro-es2)",
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv=None) -> None:
+    args = parse_args(argv)
+    jobs = args.jobs
+    cache = not args.no_cache
+    if args.cache_dir is not None:
+        os.environ["REPRO_CACHE_DIR"] = args.cache_dir
+    t0 = time.monotonic()
+
     stamp("Table I")
-    print(format_table1(run_table1(seed=1, warmup_ns=WARMUP, measure_ns=MEASURE)))
+    print(format_table1(run_table1(seed=1, warmup_ns=WARMUP, measure_ns=MEASURE,
+                                   jobs=jobs, cache=cache)))
 
     stamp("Fig 4a (UDP)")
-    print(format_fig4(run_fig4("udp", seed=1, warmup_ns=WARMUP, measure_ns=MEASURE), "udp"))
+    print(format_fig4(run_fig4("udp", seed=1, warmup_ns=WARMUP, measure_ns=MEASURE,
+                               jobs=jobs, cache=cache), "udp"))
     stamp("Fig 4a (UDP 1024B)")
     print(format_fig4(run_fig4("udp", payload_size=1024, quotas=(32, 16, 8), seed=1,
-                               warmup_ns=WARMUP, measure_ns=MEASURE), "udp-1024"))
+                               warmup_ns=WARMUP, measure_ns=MEASURE,
+                               jobs=jobs, cache=cache), "udp-1024"))
     stamp("Fig 4b (TCP)")
-    print(format_fig4(run_fig4("tcp", seed=1, warmup_ns=WARMUP, measure_ns=MEASURE), "tcp"))
+    print(format_fig4(run_fig4("tcp", seed=1, warmup_ns=WARMUP, measure_ns=MEASURE,
+                               jobs=jobs, cache=cache), "tcp"))
 
     stamp("Fig 5")
-    print(format_fig5(run_fig5(seed=1, warmup_ns=WARMUP, measure_ns=MEASURE)))
+    print(format_fig5(run_fig5(seed=1, warmup_ns=WARMUP, measure_ns=MEASURE,
+                               jobs=jobs, cache=cache)))
 
     stamp("Fig 6a (send)")
-    send = run_fig6("send", seed=3, warmup_ns=300 * MS, measure_ns=600 * MS)
+    send = run_fig6("send", seed=3, warmup_ns=300 * MS, measure_ns=600 * MS,
+                    jobs=jobs, cache=cache)
     print(format_fig6(send, "send"))
     stamp("Fig 6b (receive)")
-    recv = run_fig6("receive", seed=3, warmup_ns=300 * MS, measure_ns=600 * MS)
+    recv = run_fig6("receive", seed=3, warmup_ns=300 * MS, measure_ns=600 * MS,
+                    jobs=jobs, cache=cache)
     print(format_fig6(recv, "receive"))
 
     stamp("Fig 7")
-    print(format_fig7(run_fig7(seed=3, duration_ns=int(1.5 * SEC))))
+    print(format_fig7(run_fig7(seed=3, duration_ns=int(1.5 * SEC), jobs=jobs, cache=cache)))
 
     stamp("Fig 8a (memcached)")
-    print(format_fig8(run_fig8("memcached", seed=3, warmup_ns=300 * MS, measure_ns=600 * MS),
-                      "memcached"))
+    print(format_fig8(run_fig8("memcached", seed=3, warmup_ns=300 * MS, measure_ns=600 * MS,
+                               jobs=jobs, cache=cache), "memcached"))
     stamp("Fig 8b (apache)")
-    print(format_fig8(run_fig8("apache", seed=3, warmup_ns=300 * MS, measure_ns=600 * MS),
-                      "apache"))
+    print(format_fig8(run_fig8("apache", seed=3, warmup_ns=300 * MS, measure_ns=600 * MS,
+                               jobs=jobs, cache=cache), "apache"))
 
     stamp("Fig 9")
-    fig9 = run_fig9(seed=3, duration_ns=2 * SEC, configs=("Baseline", "PI", "PI+H", "PI+H+R"))
+    fig9 = run_fig9(seed=3, duration_ns=2 * SEC, configs=("Baseline", "PI", "PI+H", "PI+H+R"),
+                    jobs=jobs, cache=cache)
     print(format_fig9(fig9))
     for cfg in ("Baseline", "PI", "PI+H", "PI+H+R"):
         print(f"knee[{cfg}] = {find_knee(fig9, cfg)}/s")
 
     stamp("SR-IOV (Section VII)")
-    print(format_sriov(run_sriov(seed=3, warmup_ns=300 * MS, measure_ns=600 * MS)))
+    print(format_sriov(run_sriov(seed=3, warmup_ns=300 * MS, measure_ns=600 * MS,
+                                 jobs=jobs, cache=cache)))
 
     stamp("Ablation: redirection policies")
-    print(format_redirect_ablation(run_redirect_policy_ablation(seed=3, duration_ns=int(1.5 * SEC))))
+    print(format_redirect_ablation(run_redirect_policy_ablation(
+        seed=3, duration_ns=int(1.5 * SEC), jobs=jobs, cache=cache)))
 
     stamp("Ablation: vIC coalescing vs ES2")
-    print(format_coalescing(run_coalescing(seed=5, warmup_ns=WARMUP, measure_ns=MEASURE)))
+    print(format_coalescing(run_coalescing(seed=5, warmup_ns=WARMUP, measure_ns=MEASURE,
+                                           jobs=jobs, cache=cache)))
 
-    stamp("done")
+    stamp(f"done in {time.monotonic() - t0:.1f}s")
 
 
 if __name__ == "__main__":

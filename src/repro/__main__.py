@@ -33,6 +33,22 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=None, help="simulation seed")
     p.add_argument("--warmup-ms", type=int, default=200)
     p.add_argument("--measure-ms", type=int, default=500)
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="worker processes for sweeps (0 = all CPUs, 1 = serial)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every sweep point instead of consulting the result cache",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result-cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro-es2)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -73,6 +89,12 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     warmup = args.warmup_ms * MS
     measure = args.measure_ms * MS
+    jobs = args.jobs
+    cache = not args.no_cache
+    if args.cache_dir is not None:
+        import os
+
+        os.environ["REPRO_CACHE_DIR"] = args.cache_dir
 
     def seed(default):
         """Resolve the seed CLI option against a default."""
@@ -80,43 +102,49 @@ def main(argv=None) -> int:
 
     cmd = args.command
     if cmd in ("table1", "all"):
-        print(format_table1(run_table1(seed=seed(1), warmup_ns=warmup, measure_ns=measure)))
+        print(format_table1(run_table1(seed=seed(1), warmup_ns=warmup, measure_ns=measure,
+                                       jobs=jobs, cache=cache)))
     if cmd == "fig4" or cmd == "all":
         protos = ("udp", "tcp") if cmd == "all" or args.__dict__.get("protocol", "both") == "both" \
             else (args.protocol,)
         for proto in protos:
             print(format_fig4(run_fig4(proto, seed=seed(1), warmup_ns=warmup,
-                                       measure_ns=measure), proto))
+                                       measure_ns=measure, jobs=jobs, cache=cache), proto))
     if cmd in ("fig5", "all"):
-        print(format_fig5(run_fig5(seed=seed(1), warmup_ns=warmup, measure_ns=measure)))
+        print(format_fig5(run_fig5(seed=seed(1), warmup_ns=warmup, measure_ns=measure,
+                                   jobs=jobs, cache=cache)))
     if cmd == "fig6" or cmd == "all":
         directions = ("send", "receive") if cmd == "all" or args.__dict__.get("direction", "both") == "both" \
             else (args.direction,)
         sizes = tuple(args.__dict__.get("sizes", DEFAULT_PACKET_SIZES))
         for direction in directions:
             print(format_fig6(run_fig6(direction, packet_sizes=sizes, seed=seed(3),
-                                       warmup_ns=warmup, measure_ns=measure), direction))
+                                       warmup_ns=warmup, measure_ns=measure,
+                                       jobs=jobs, cache=cache), direction))
     if cmd == "fig7" or cmd == "all":
         duration = args.__dict__.get("duration_ms", 1500) * MS
-        print(format_fig7(run_fig7(seed=seed(3), duration_ns=duration)))
+        print(format_fig7(run_fig7(seed=seed(3), duration_ns=duration, jobs=jobs, cache=cache)))
     if cmd in ("fig8", "all"):
         for app in ("memcached", "apache"):
             print(format_fig8(run_fig8(app, seed=seed(3), warmup_ns=warmup,
-                                       measure_ns=measure), app))
+                                       measure_ns=measure, jobs=jobs, cache=cache), app))
     if cmd == "fig9" or cmd == "all":
         rates = tuple(args.__dict__.get("rates", DEFAULT_RATES))
         duration = args.__dict__.get("duration_ms", 2000) * MS
-        results = run_fig9(rates=rates, seed=seed(3), duration_ns=duration)
+        results = run_fig9(rates=rates, seed=seed(3), duration_ns=duration,
+                           jobs=jobs, cache=cache)
         print(format_fig9(results))
         for cfg in sorted({c for (c, _) in results}):
             print(f"knee[{cfg}] = {find_knee(results, cfg)}/s")
     if cmd in ("sriov", "all"):
-        print(format_sriov(run_sriov(seed=seed(3), warmup_ns=warmup, measure_ns=measure)))
+        print(format_sriov(run_sriov(seed=seed(3), warmup_ns=warmup, measure_ns=measure,
+                                     jobs=jobs, cache=cache)))
     if cmd in ("ablation", "all"):
-        print(format_redirect_ablation(run_redirect_policy_ablation(seed=seed(3))))
+        print(format_redirect_ablation(run_redirect_policy_ablation(seed=seed(3),
+                                                                    jobs=jobs, cache=cache)))
     if cmd in ("coalescing", "all"):
         print(format_coalescing(run_coalescing(seed=seed(5), warmup_ns=warmup,
-                                               measure_ns=measure)))
+                                               measure_ns=measure, jobs=jobs, cache=cache)))
     return 0
 
 

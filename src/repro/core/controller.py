@@ -31,6 +31,10 @@ class Es2Controller:
         self.tracker = VcpuScheduleTracker(kvm)
         self.redirector = InterruptRedirector(self.tracker)
         kvm.router.set_interceptor(self._intercept)
+        # Per-VM controller state must not outlive the VM (a recycled id()
+        # must never inherit a dead VM's sticky target or load counters).
+        kvm.add_teardown_listener(self.tracker.forget_vm)
+        kvm.add_teardown_listener(self.redirector.forget_vm)
 
     def _intercept(self, vm: "VirtualMachine", msg: MsiMessage) -> Optional[int]:
         if not vm.features.redirect:

@@ -33,9 +33,11 @@ class InterruptRedirector:
     def __init__(self, tracker: "VcpuScheduleTracker"):
         self.tracker = tracker
         tracker.add_offline_listener(self._on_vcpu_offline)
-        #: per-VM sticky target (valid while it stays online)
+        #: per-VM sticky target, keyed by the stable ``vm.vm_id`` (valid
+        #: while it stays online).  ``id(vm)`` is unusable as a key: CPython
+        #: reuses it after GC, aliasing a dead VM's state with a new one.
         self._sticky: Dict[int, int] = {}
-        #: per-(VM, vCPU) processed-interrupt counters (workload balancing)
+        #: per-(vm_id, vCPU) processed-interrupt counters (workload balancing)
         self._irq_load: Dict[tuple, int] = {}
         self.redirects_online = 0
         self.redirects_predicted = 0
@@ -59,11 +61,11 @@ class InterruptRedirector:
             if target is None:
                 return None
             self.redirects_predicted += 1
-        self._irq_load[(id(vm), target)] = self._irq_load.get((id(vm), target), 0) + 1
+        self._irq_load[(vm.vm_id, target)] = self._irq_load.get((vm.vm_id, target), 0) + 1
         return target
 
     def _pick_online(self, vm, online, features: FeatureSet) -> int:
-        key = id(vm)
+        key = vm.vm_id
         sticky = self._sticky.get(key)
         if features.redirect_sticky and sticky in online:
             return sticky
@@ -79,11 +81,19 @@ class InterruptRedirector:
 
     # -------------------------------------------------------------- stickiness
     def _on_vcpu_offline(self, vm, vcpu_index: int) -> None:
-        key = id(vm)
+        key = vm.vm_id
         if self._sticky.get(key) == vcpu_index:
             del self._sticky[key]
+
+    # -------------------------------------------------------------- lifecycle
+    def forget_vm(self, vm) -> None:
+        """Drop all per-VM state (called when the VM is torn down)."""
+        key = vm.vm_id
+        self._sticky.pop(key, None)
+        for load_key in [k for k in self._irq_load if k[0] == key]:
+            del self._irq_load[load_key]
 
     # ------------------------------------------------------------- inspection
     def irq_load(self, vm, vcpu_index: int) -> int:
         """Processed-interrupt count recorded for one vCPU."""
-        return self._irq_load.get((id(vm), vcpu_index), 0)
+        return self._irq_load.get((vm.vm_id, vcpu_index), 0)

@@ -3,7 +3,7 @@
 The tracker is the "information channel to the vCPU scheduler": it
 registers preemption notifiers (the only scheduling visibility KVM offers,
 since CFS cannot distinguish vCPU threads from ordinary threads) and
-maintains, per VM:
+maintains, per VM (keyed by the stable ``vm.vm_id``):
 
 * an **online list** — vCPUs currently running on some core;
 * an **offline list**, ordered by descheduling time — each descheduled vCPU
@@ -44,7 +44,7 @@ class VcpuScheduleTracker:
 
     # --------------------------------------------------------------- wiring
     def _ensure(self, vm: "VirtualMachine") -> None:
-        key = id(vm)
+        key = vm.vm_id
         if key not in self._online:
             self._online[key] = set()
             self._offline[key] = deque(range(vm.n_vcpus))
@@ -53,11 +53,16 @@ class VcpuScheduleTracker:
         """``fn(vm, vcpu_index)`` fires when a vCPU goes offline."""
         self._offline_listeners.append(fn)
 
+    def forget_vm(self, vm: "VirtualMachine") -> None:
+        """Drop the VM's online/offline lists (called at VM teardown)."""
+        self._online.pop(vm.vm_id, None)
+        self._offline.pop(vm.vm_id, None)
+
     # ------------------------------------------------------------ notifiers
     def _sched_in(self, thread, core) -> None:
         vm = thread.vm
         self._ensure(vm)
-        key = id(vm)
+        key = vm.vm_id
         self.transitions += 1
         try:
             self._offline[key].remove(thread.index)
@@ -68,7 +73,7 @@ class VcpuScheduleTracker:
     def _sched_out(self, thread, core) -> None:
         vm = thread.vm
         self._ensure(vm)
-        key = id(vm)
+        key = vm.vm_id
         self.transitions += 1
         self._online[key].discard(thread.index)
         if thread.index not in self._offline[key]:
@@ -80,12 +85,12 @@ class VcpuScheduleTracker:
     def online_indices(self, vm: "VirtualMachine") -> Set[int]:
         """Set of currently-online vCPU indices for the VM."""
         self._ensure(vm)
-        return self._online[id(vm)]
+        return self._online[vm.vm_id]
 
     def offline_order(self, vm: "VirtualMachine") -> Deque[int]:
         """Offline vCPUs, head = offline the longest (next predicted online)."""
         self._ensure(vm)
-        return self._offline[id(vm)]
+        return self._offline[vm.vm_id]
 
     def is_online(self, vm: "VirtualMachine", vcpu_index: int) -> bool:
         """True if the vCPU index is currently online."""

@@ -13,13 +13,14 @@ These exercise the design choices DESIGN.md calls out:
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.config import FeatureSet
 from repro.core.configs import paper_config
 from repro.experiments.testbed import multiplexed_testbed
 from repro.metrics.latency import LatencySeries
 from repro.metrics.report import format_table
+from repro.parallel import SweepPoint, run_sweep
 from repro.units import MS, SEC
 from repro.workloads.ping import PingWorkload
 
@@ -34,23 +35,43 @@ REDIRECT_VARIANTS: Dict[str, FeatureSet] = {
 }
 
 
+def _ablation_point(
+    name: str, feats: FeatureSet, seed: int, duration_ns: int, interval_ns: int
+) -> LatencySeries:
+    """Ping-RTT series for one policy variant on a fresh testbed."""
+    tb = multiplexed_testbed(feats, seed=seed)
+    wl = PingWorkload(tb, tb.tested, interval_ns=interval_ns)
+    wl.start()
+    tb.run_for(duration_ns)
+    return LatencySeries(wl.pinger.rtts_ns)
+
+
 def run_redirect_policy_ablation(
     variants: Dict[str, FeatureSet] = None,
     seed: int = 3,
     duration_ns: int = int(1.5 * SEC),
     interval_ns: int = 10 * MS,
+    jobs: Optional[int] = None,
+    cache=False,
 ) -> Dict[str, LatencySeries]:
     """Ping-RTT comparison across redirection policy variants."""
     if variants is None:
         variants = REDIRECT_VARIANTS
-    out: Dict[str, LatencySeries] = {}
-    for name, feats in variants.items():
-        tb = multiplexed_testbed(feats, seed=seed)
-        wl = PingWorkload(tb, tb.tested, interval_ns=interval_ns)
-        wl.start()
-        tb.run_for(duration_ns)
-        out[name] = LatencySeries(wl.pinger.rtts_ns)
-    return out
+    sweep = [
+        SweepPoint(
+            key=name,
+            fn=_ablation_point,
+            kwargs=dict(
+                name=name,
+                feats=feats,
+                seed=seed,
+                duration_ns=duration_ns,
+                interval_ns=interval_ns,
+            ),
+        )
+        for name, feats in variants.items()
+    ]
+    return run_sweep(sweep, jobs=jobs, cache=cache)
 
 
 def format_redirect_ablation(results: Dict[str, LatencySeries]) -> str:

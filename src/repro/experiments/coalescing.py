@@ -12,12 +12,13 @@ the low latency.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.core.configs import paper_config
 from repro.experiments.runner import DEFAULT_MEASURE_NS, DEFAULT_WARMUP_NS, measure_window
 from repro.experiments.testbed import single_vcpu_testbed
 from repro.metrics.report import format_table
+from repro.parallel import SweepPoint, run_sweep
 from repro.units import MS, SEC, us
 from repro.workloads.netperf import NetperfUdpReceive
 from repro.workloads.ping import PingWorkload
@@ -42,38 +43,59 @@ def _variants():
     }
 
 
+def _coalescing_point(
+    name: str, seed: int, warmup_ns: int, measure_ns: int, ping_duration_ns: int
+) -> CoalescingPoint:
+    """UDP-receive exits + ping latency for one coalescing variant."""
+    feats = _variants()[name]
+    tb = single_vcpu_testbed(feats, seed=seed)
+    wl = NetperfUdpReceive(tb, tb.tested, payload_size=1024, rate_pps=250_000)
+    wl.start()
+    run = measure_window(tb, wl, warmup_ns, measure_ns, config_name=name)
+
+    tb2 = single_vcpu_testbed(feats, seed=seed)
+    ping = PingWorkload(tb2, tb2.tested, interval_ns=5 * MS)
+    ping.start()
+    # Background load keeps the coalescing window hot, so the ping
+    # experiences the moderation delay as real traffic would.
+    bg = NetperfUdpReceive(tb2, tb2.tested, payload_size=1024, rate_pps=100_000)
+    bg.start()
+    tb2.run_for(ping_duration_ns)
+
+    return CoalescingPoint(
+        config=name,
+        interrupt_exit_rate=run.exit_rates.interrupt_delivery
+        + run.exit_rates.interrupt_completion,
+        total_exit_rate=run.total_exit_rate,
+        tig=run.tig,
+        ping_mean_ms=ping.mean_rtt_ms(),
+    )
+
+
 def run_coalescing(
     seed: int = 5,
     warmup_ns: int = DEFAULT_WARMUP_NS,
     measure_ns: int = DEFAULT_MEASURE_NS,
     ping_duration_ns: int = SEC,
+    jobs: Optional[int] = None,
+    cache=False,
 ) -> Dict[str, CoalescingPoint]:
     """UDP-receive exits + ping latency for Baseline / Baseline+vIC / ES2."""
-    out: Dict[str, CoalescingPoint] = {}
-    for name, feats in _variants().items():
-        tb = single_vcpu_testbed(feats, seed=seed)
-        wl = NetperfUdpReceive(tb, tb.tested, payload_size=1024, rate_pps=250_000)
-        wl.start()
-        run = measure_window(tb, wl, warmup_ns, measure_ns, config_name=name)
-
-        tb2 = single_vcpu_testbed(feats, seed=seed)
-        ping = PingWorkload(tb2, tb2.tested, interval_ns=5 * MS)
-        ping.start()
-        # Background load keeps the coalescing window hot, so the ping
-        # experiences the moderation delay as real traffic would.
-        bg = NetperfUdpReceive(tb2, tb2.tested, payload_size=1024, rate_pps=100_000)
-        bg.start()
-        tb2.run_for(ping_duration_ns)
-
-        out[name] = CoalescingPoint(
-            config=name,
-            interrupt_exit_rate=run.exit_rates.interrupt_delivery
-            + run.exit_rates.interrupt_completion,
-            total_exit_rate=run.total_exit_rate,
-            tig=run.tig,
-            ping_mean_ms=ping.mean_rtt_ms(),
+    sweep = [
+        SweepPoint(
+            key=name,
+            fn=_coalescing_point,
+            kwargs=dict(
+                name=name,
+                seed=seed,
+                warmup_ns=warmup_ns,
+                measure_ns=measure_ns,
+                ping_duration_ns=ping_duration_ns,
+            ),
         )
-    return out
+        for name in _variants()
+    ]
+    return run_sweep(sweep, jobs=jobs, cache=cache)
 
 
 def format_coalescing(results: Dict[str, CoalescingPoint]) -> str:

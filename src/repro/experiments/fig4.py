@@ -15,6 +15,7 @@ from repro.core.configs import paper_config
 from repro.experiments.runner import DEFAULT_MEASURE_NS, DEFAULT_WARMUP_NS, measure_window
 from repro.experiments.testbed import single_vcpu_testbed
 from repro.metrics.report import format_table
+from repro.parallel import SweepPoint, run_sweep
 from repro.workloads.netperf import NetperfTcpSend, NetperfUdpSend
 
 __all__ = ["QuotaPoint", "run_fig4", "format_fig4"]
@@ -30,6 +31,31 @@ class QuotaPoint:
     throughput_gbps: float
 
 
+def _fig4_point(
+    protocol: str,
+    payload_size: int,
+    quota: Optional[int],
+    seed: int,
+    warmup_ns: int,
+    measure_ns: int,
+) -> QuotaPoint:
+    """One (protocol, quota) cell: a fresh testbed, fully self-contained."""
+    name = "Baseline" if quota is None else "PI+H"
+    feats = paper_config(name) if quota is None else paper_config(name, quota=quota)
+    tb = single_vcpu_testbed(feats, seed=seed)
+    if protocol == "udp":
+        wl = NetperfUdpSend(tb, tb.tested, n_streams=1, payload_size=payload_size)
+    else:
+        wl = NetperfTcpSend(tb, tb.tested, n_streams=1, payload_size=payload_size)
+    run = measure_window(tb, wl, warmup_ns, measure_ns, config_name=name)
+    return QuotaPoint(
+        quota=quota,
+        io_exit_rate=run.exit_rates.io_request,
+        total_exit_rate=run.total_exit_rate,
+        throughput_gbps=run.throughput_gbps,
+    )
+
+
 def run_fig4(
     protocol: str = "udp",
     payload_size: Optional[int] = None,
@@ -37,31 +63,31 @@ def run_fig4(
     seed: int = 1,
     warmup_ns: int = DEFAULT_WARMUP_NS,
     measure_ns: int = DEFAULT_MEASURE_NS,
+    jobs: Optional[int] = None,
+    cache=False,
 ) -> List[QuotaPoint]:
     """Sweep the quota for one protocol; the first point is the baseline."""
     if protocol not in ("udp", "tcp"):
         raise ValueError("protocol must be 'udp' or 'tcp'")
     if payload_size is None:
         payload_size = 256 if protocol == "udp" else 1448
-    points: List[QuotaPoint] = []
-    for quota in (None, *quotas):
-        name = "Baseline" if quota is None else "PI+H"
-        feats = paper_config(name) if quota is None else paper_config(name, quota=quota)
-        tb = single_vcpu_testbed(feats, seed=seed)
-        if protocol == "udp":
-            wl = NetperfUdpSend(tb, tb.tested, n_streams=1, payload_size=payload_size)
-        else:
-            wl = NetperfTcpSend(tb, tb.tested, n_streams=1, payload_size=payload_size)
-        run = measure_window(tb, wl, warmup_ns, measure_ns, config_name=name)
-        points.append(
-            QuotaPoint(
+    sweep = [
+        SweepPoint(
+            key=quota,
+            fn=_fig4_point,
+            kwargs=dict(
+                protocol=protocol,
+                payload_size=payload_size,
                 quota=quota,
-                io_exit_rate=run.exit_rates.io_request,
-                total_exit_rate=run.total_exit_rate,
-                throughput_gbps=run.throughput_gbps,
-            )
+                seed=seed,
+                warmup_ns=warmup_ns,
+                measure_ns=measure_ns,
+            ),
         )
-    return points
+        for quota in (None, *quotas)
+    ]
+    merged = run_sweep(sweep, jobs=jobs, cache=cache)
+    return [merged[quota] for quota in (None, *quotas)]
 
 
 def format_fig4(points: List[QuotaPoint], protocol: str) -> str:

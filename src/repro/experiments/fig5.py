@@ -11,10 +11,13 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from typing import Optional
+
 from repro.core.configs import paper_config
 from repro.experiments.runner import DEFAULT_MEASURE_NS, DEFAULT_WARMUP_NS, MeasuredRun, measure_window
 from repro.experiments.testbed import single_vcpu_testbed
 from repro.metrics.report import format_table
+from repro.parallel import SweepPoint, run_sweep
 from repro.workloads.netperf import (
     NetperfTcpReceive,
     NetperfTcpSend,
@@ -41,24 +44,50 @@ def _build_workload(tb, protocol: str, direction: str, payload_size: int):
     return wl
 
 
+def _fig5_cell(
+    protocol: str,
+    direction: str,
+    name: str,
+    seed: int,
+    payload_size: int,
+    warmup_ns: int,
+    measure_ns: int,
+) -> MeasuredRun:
+    """One (protocol, direction, config) cell on a fresh testbed."""
+    quota = 4 if protocol == "tcp" else 8
+    tb = single_vcpu_testbed(paper_config(name, quota=quota), seed=seed)
+    wl = _build_workload(tb, protocol, direction, payload_size)
+    return measure_window(tb, wl, warmup_ns, measure_ns, config_name=name)
+
+
 def run_fig5(
     seed: int = 1,
     payload_size: int = 1024,
     warmup_ns: int = DEFAULT_WARMUP_NS,
     measure_ns: int = DEFAULT_MEASURE_NS,
+    jobs: Optional[int] = None,
+    cache=False,
 ) -> Dict[Tuple[str, str, str], MeasuredRun]:
     """Run all (protocol, direction, config) cells of Fig. 5."""
-    out: Dict[Tuple[str, str, str], MeasuredRun] = {}
-    for protocol in ("tcp", "udp"):
-        for direction in ("send", "receive"):
-            for name in FIG5_CONFIGS:
-                quota = 4 if protocol == "tcp" else 8
-                tb = single_vcpu_testbed(paper_config(name, quota=quota), seed=seed)
-                wl = _build_workload(tb, protocol, direction, payload_size)
-                out[(protocol, direction, name)] = measure_window(
-                    tb, wl, warmup_ns, measure_ns, config_name=name
-                )
-    return out
+    sweep = [
+        SweepPoint(
+            key=(protocol, direction, name),
+            fn=_fig5_cell,
+            kwargs=dict(
+                protocol=protocol,
+                direction=direction,
+                name=name,
+                seed=seed,
+                payload_size=payload_size,
+                warmup_ns=warmup_ns,
+                measure_ns=measure_ns,
+            ),
+        )
+        for protocol in ("tcp", "udp")
+        for direction in ("send", "receive")
+        for name in FIG5_CONFIGS
+    ]
+    return run_sweep(sweep, jobs=jobs, cache=cache)
 
 
 def format_fig5(results: Dict[Tuple[str, str, str], MeasuredRun]) -> str:

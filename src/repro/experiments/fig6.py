@@ -10,12 +10,13 @@ redirection (up to +50% over PI+H); full ES2 approaches 2x baseline.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.configs import PAPER_CONFIGS, paper_config
 from repro.experiments.runner import DEFAULT_MEASURE_NS, DEFAULT_WARMUP_NS, measure_window
 from repro.experiments.testbed import multiplexed_testbed
 from repro.metrics.report import format_table
+from repro.parallel import SweepPoint, run_sweep
 from repro.workloads.netperf import NetperfTcpReceive, NetperfTcpSend
 
 __all__ = ["run_fig6", "format_fig6", "DEFAULT_PACKET_SIZES", "DEFAULT_WINDOW_BYTES"]
@@ -23,6 +24,30 @@ __all__ = ["run_fig6", "format_fig6", "DEFAULT_PACKET_SIZES", "DEFAULT_WINDOW_BY
 DEFAULT_PACKET_SIZES = (256, 512, 1024, 1448)
 #: per-flow TCP window (Linux autotuning reaches MB-scale buffers)
 DEFAULT_WINDOW_BYTES = 800_000
+
+
+def _fig6_cell(
+    direction: str,
+    name: str,
+    size: int,
+    seed: int,
+    warmup_ns: int,
+    measure_ns: int,
+    window_bytes: int,
+) -> float:
+    """Throughput of one (config, packet size) cell on a fresh testbed."""
+    tb = multiplexed_testbed(paper_config(name, quota=4), seed=seed)
+    if direction == "send":
+        wl = NetperfTcpSend(
+            tb, tb.tested, n_streams=4, payload_size=size, window_bytes=window_bytes
+        )
+    else:
+        wl = NetperfTcpReceive(
+            tb, tb.tested, n_streams=4, payload_size=size, window_bytes=window_bytes
+        )
+        wl.start()
+    run = measure_window(tb, wl, warmup_ns, measure_ns, config_name=name)
+    return run.throughput_gbps
 
 
 def run_fig6(
@@ -33,26 +58,30 @@ def run_fig6(
     warmup_ns: int = DEFAULT_WARMUP_NS,
     measure_ns: int = DEFAULT_MEASURE_NS,
     window_bytes: int = DEFAULT_WINDOW_BYTES,
+    jobs: Optional[int] = None,
+    cache=False,
 ) -> Dict[Tuple[str, int], float]:
     """Measure throughput (Gbps) for each (config, packet size) cell."""
     if direction not in ("send", "receive"):
         raise ValueError("direction must be 'send' or 'receive'")
-    out: Dict[Tuple[str, int], float] = {}
-    for name in configs:
-        for size in packet_sizes:
-            tb = multiplexed_testbed(paper_config(name, quota=4), seed=seed)
-            if direction == "send":
-                wl = NetperfTcpSend(
-                    tb, tb.tested, n_streams=4, payload_size=size, window_bytes=window_bytes
-                )
-            else:
-                wl = NetperfTcpReceive(
-                    tb, tb.tested, n_streams=4, payload_size=size, window_bytes=window_bytes
-                )
-                wl.start()
-            run = measure_window(tb, wl, warmup_ns, measure_ns, config_name=name)
-            out[(name, size)] = run.throughput_gbps
-    return out
+    sweep = [
+        SweepPoint(
+            key=(name, size),
+            fn=_fig6_cell,
+            kwargs=dict(
+                direction=direction,
+                name=name,
+                size=size,
+                seed=seed,
+                warmup_ns=warmup_ns,
+                measure_ns=measure_ns,
+                window_bytes=window_bytes,
+            ),
+        )
+        for name in configs
+        for size in packet_sizes
+    ]
+    return run_sweep(sweep, jobs=jobs, cache=cache)
 
 
 def format_fig6(results: Dict[Tuple[str, int], float], direction: str) -> str:

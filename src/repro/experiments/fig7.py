@@ -10,12 +10,13 @@ collect a comparable number of samples.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.core.configs import paper_config
 from repro.experiments.testbed import multiplexed_testbed
 from repro.metrics.latency import LatencySeries
 from repro.metrics.report import format_table
+from repro.parallel import SweepPoint, run_sweep
 from repro.units import MS, SEC
 from repro.workloads.ping import PingWorkload
 
@@ -24,21 +25,35 @@ __all__ = ["run_fig7", "format_fig7", "FIG7_CONFIGS"]
 FIG7_CONFIGS = ("Baseline", "PI", "PI+H+R")
 
 
+def _fig7_point(name: str, seed: int, duration_ns: int, interval_ns: int) -> LatencySeries:
+    """RTT series for one configuration on a fresh testbed."""
+    tb = multiplexed_testbed(paper_config(name, quota=4), seed=seed)
+    wl = PingWorkload(tb, tb.tested, interval_ns=interval_ns)
+    wl.start()
+    tb.run_for(duration_ns)
+    return LatencySeries(wl.pinger.rtts_ns)
+
+
 def run_fig7(
     configs: Sequence[str] = FIG7_CONFIGS,
     seed: int = 3,
     duration_ns: int = int(1.5 * SEC),
     interval_ns: int = 10 * MS,
+    jobs: Optional[int] = None,
+    cache=False,
 ) -> Dict[str, LatencySeries]:
     """Collect an RTT series per configuration."""
-    out: Dict[str, LatencySeries] = {}
-    for name in configs:
-        tb = multiplexed_testbed(paper_config(name, quota=4), seed=seed)
-        wl = PingWorkload(tb, tb.tested, interval_ns=interval_ns)
-        wl.start()
-        tb.run_for(duration_ns)
-        out[name] = LatencySeries(wl.pinger.rtts_ns)
-    return out
+    sweep = [
+        SweepPoint(
+            key=name,
+            fn=_fig7_point,
+            kwargs=dict(
+                name=name, seed=seed, duration_ns=duration_ns, interval_ns=interval_ns
+            ),
+        )
+        for name in configs
+    ]
+    return run_sweep(sweep, jobs=jobs, cache=cache)
 
 
 def format_fig7(results: Dict[str, LatencySeries]) -> str:

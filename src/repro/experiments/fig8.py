@@ -6,16 +6,36 @@ baseline; Apache — PI +19%, hybrid +18% more, full ES2 ≈ 2x baseline.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.core.configs import PAPER_CONFIGS, paper_config
 from repro.experiments.runner import DEFAULT_MEASURE_NS, DEFAULT_WARMUP_NS
 from repro.experiments.testbed import multiplexed_testbed
 from repro.metrics.report import format_table
+from repro.parallel import SweepPoint, run_sweep
 from repro.workloads.apache import ApacheWorkload
 from repro.workloads.memcached import MemcachedWorkload
 
 __all__ = ["run_fig8", "format_fig8"]
+
+
+def _fig8_point(
+    application: str, name: str, seed: int, warmup_ns: int, measure_ns: int
+) -> float:
+    """Application throughput for one configuration on a fresh testbed."""
+    quota = 8 if application == "memcached" else 4
+    tb = multiplexed_testbed(paper_config(name, quota=quota), seed=seed)
+    if application == "memcached":
+        wl = MemcachedWorkload(tb, tb.tested)
+    else:
+        wl = ApacheWorkload(tb, tb.tested)
+    wl.start()
+    tb.run_for(warmup_ns)
+    wl.mark()
+    tb.run_for(measure_ns)
+    if application == "memcached":
+        return wl.ops_per_sec()
+    return wl.requests_per_sec()
 
 
 def run_fig8(
@@ -24,27 +44,27 @@ def run_fig8(
     seed: int = 3,
     warmup_ns: int = DEFAULT_WARMUP_NS,
     measure_ns: int = DEFAULT_MEASURE_NS,
+    jobs: Optional[int] = None,
+    cache=False,
 ) -> Dict[str, float]:
     """Measure application throughput (ops/s or requests/s) per config."""
     if application not in ("memcached", "apache"):
         raise ValueError("application must be 'memcached' or 'apache'")
-    out: Dict[str, float] = {}
-    for name in configs:
-        quota = 8 if application == "memcached" else 4
-        tb = multiplexed_testbed(paper_config(name, quota=quota), seed=seed)
-        if application == "memcached":
-            wl = MemcachedWorkload(tb, tb.tested)
-        else:
-            wl = ApacheWorkload(tb, tb.tested)
-        wl.start()
-        tb.run_for(warmup_ns)
-        wl.mark()
-        tb.run_for(measure_ns)
-        if application == "memcached":
-            out[name] = wl.ops_per_sec()
-        else:
-            out[name] = wl.requests_per_sec()
-    return out
+    sweep = [
+        SweepPoint(
+            key=name,
+            fn=_fig8_point,
+            kwargs=dict(
+                application=application,
+                name=name,
+                seed=seed,
+                warmup_ns=warmup_ns,
+                measure_ns=measure_ns,
+            ),
+        )
+        for name in configs
+    ]
+    return run_sweep(sweep, jobs=jobs, cache=cache)
 
 
 def format_fig8(results: Dict[str, float], application: str) -> str:

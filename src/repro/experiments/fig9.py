@@ -8,11 +8,12 @@ reaches ~2,600/s.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.core.configs import paper_config
 from repro.experiments.testbed import multiplexed_testbed
 from repro.metrics.report import format_table
+from repro.parallel import SweepPoint, run_sweep
 from repro.units import SEC
 from repro.workloads.httperf import HttperfWorkload
 
@@ -22,22 +23,34 @@ DEFAULT_RATES = (800, 1400, 1800, 2200, 2600, 3000)
 FIG9_CONFIGS = ("Baseline", "PI", "PI+H", "PI+H+R")
 
 
+def _fig9_cell(name: str, rate: int, seed: int, duration_ns: int) -> float:
+    """Average connection time of one (config, rate) cell on a fresh testbed."""
+    tb = multiplexed_testbed(paper_config(name, quota=4), seed=seed)
+    wl = HttperfWorkload(tb, tb.tested, rate_per_sec=rate)
+    wl.start()
+    tb.run_for(duration_ns)
+    return wl.avg_connect_time_ms()
+
+
 def run_fig9(
     rates: Sequence[int] = DEFAULT_RATES,
     configs: Sequence[str] = FIG9_CONFIGS,
     seed: int = 3,
     duration_ns: int = 2 * SEC,
+    jobs: Optional[int] = None,
+    cache=False,
 ) -> Dict[Tuple[str, int], float]:
     """Average connection time (ms) per (config, rate) cell."""
-    out: Dict[Tuple[str, int], float] = {}
-    for name in configs:
-        for rate in rates:
-            tb = multiplexed_testbed(paper_config(name, quota=4), seed=seed)
-            wl = HttperfWorkload(tb, tb.tested, rate_per_sec=rate)
-            wl.start()
-            tb.run_for(duration_ns)
-            out[(name, rate)] = wl.avg_connect_time_ms()
-    return out
+    sweep = [
+        SweepPoint(
+            key=(name, rate),
+            fn=_fig9_cell,
+            kwargs=dict(name=name, rate=rate, seed=seed, duration_ns=duration_ns),
+        )
+        for name in configs
+        for rate in rates
+    ]
+    return run_sweep(sweep, jobs=jobs, cache=cache)
 
 
 def find_knee(results: Dict[Tuple[str, int], float], config: str, factor: float = 3.0) -> int:

@@ -12,13 +12,14 @@ claims.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.config import FeatureSet
 from repro.experiments.runner import DEFAULT_MEASURE_NS, DEFAULT_WARMUP_NS, measure_window
 from repro.experiments.testbed import Testbed
 from repro.metrics.latency import LatencySeries
 from repro.metrics.report import format_table
+from repro.parallel import SweepPoint, run_sweep
 from repro.units import MS, SEC
 from repro.workloads.netperf import NetperfTcpSend
 from repro.workloads.ping import PingWorkload
@@ -56,34 +57,60 @@ def _build(features: FeatureSet, seed: int, n_vms: int = 4, vcpus: int = 4) -> T
     return tb
 
 
+def _sriov_point(
+    name: str,
+    features: FeatureSet,
+    seed: int,
+    warmup_ns: int,
+    measure_ns: int,
+    ping_duration_ns: int,
+) -> SriovRun:
+    """Throughput/exit measurement plus a separate ping-latency run."""
+    tb = _build(features, seed)
+    wl = NetperfTcpSend(tb, tb.tested, n_streams=4, payload_size=1024, window_bytes=800_000)
+    run = measure_window(tb, wl, warmup_ns, measure_ns, config_name=name)
+
+    tb2 = _build(features, seed)
+    ping = PingWorkload(tb2, tb2.tested, interval_ns=10 * MS)
+    ping.start()
+    tb2.run_for(ping_duration_ns)
+
+    return SriovRun(
+        config=name,
+        io_exit_rate=run.exit_rates.io_request,
+        interrupt_exit_rate=run.exit_rates.interrupt_delivery
+        + run.exit_rates.interrupt_completion,
+        tig=run.tig,
+        throughput_gbps=run.throughput_gbps,
+        ping=LatencySeries(ping.pinger.rtts_ns),
+    )
+
+
 def run_sriov(
     seed: int = 3,
     warmup_ns: int = DEFAULT_WARMUP_NS,
     measure_ns: int = DEFAULT_MEASURE_NS,
     ping_duration_ns: int = int(1.2 * SEC),
+    jobs: Optional[int] = None,
+    cache=False,
 ) -> Dict[str, SriovRun]:
-    """Throughput/exit measurement plus a separate ping-latency run."""
-    out: Dict[str, SriovRun] = {}
-    for name, features in SRIOV_CONFIGS.items():
-        tb = _build(features, seed)
-        wl = NetperfTcpSend(tb, tb.tested, n_streams=4, payload_size=1024, window_bytes=800_000)
-        run = measure_window(tb, wl, warmup_ns, measure_ns, config_name=name)
-
-        tb2 = _build(features, seed)
-        ping = PingWorkload(tb2, tb2.tested, interval_ns=10 * MS)
-        ping.start()
-        tb2.run_for(ping_duration_ns)
-
-        out[name] = SriovRun(
-            config=name,
-            io_exit_rate=run.exit_rates.io_request,
-            interrupt_exit_rate=run.exit_rates.interrupt_delivery
-            + run.exit_rates.interrupt_completion,
-            tig=run.tig,
-            throughput_gbps=run.throughput_gbps,
-            ping=LatencySeries(ping.pinger.rtts_ns),
+    """Run the Section-VII experiment for each SR-IOV configuration."""
+    sweep = [
+        SweepPoint(
+            key=name,
+            fn=_sriov_point,
+            kwargs=dict(
+                name=name,
+                features=features,
+                seed=seed,
+                warmup_ns=warmup_ns,
+                measure_ns=measure_ns,
+                ping_duration_ns=ping_duration_ns,
+            ),
         )
-    return out
+        for name, features in SRIOV_CONFIGS.items()
+    ]
+    return run_sweep(sweep, jobs=jobs, cache=cache)
 
 
 def format_sriov(results: Dict[str, SriovRun]) -> str:

@@ -8,15 +8,25 @@ the freed CPU sends more packets.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.core.configs import paper_config
 from repro.experiments.runner import DEFAULT_MEASURE_NS, DEFAULT_WARMUP_NS, MeasuredRun, measure_window
 from repro.experiments.testbed import single_vcpu_testbed
 from repro.metrics.report import format_table
+from repro.parallel import SweepPoint, run_sweep
 from repro.workloads.netperf import NetperfTcpSend
 
 __all__ = ["run_table1", "format_table1"]
+
+
+def _table1_point(
+    name: str, seed: int, warmup_ns: int, measure_ns: int, payload_size: int
+) -> MeasuredRun:
+    """One Table-I configuration on a fresh testbed."""
+    tb = single_vcpu_testbed(paper_config(name, quota=4), seed=seed)
+    wl = NetperfTcpSend(tb, tb.tested, n_streams=1, payload_size=payload_size)
+    return measure_window(tb, wl, warmup_ns, measure_ns, config_name=name)
 
 
 def run_table1(
@@ -24,14 +34,25 @@ def run_table1(
     warmup_ns: int = DEFAULT_WARMUP_NS,
     measure_ns: int = DEFAULT_MEASURE_NS,
     payload_size: int = 1024,
+    jobs: Optional[int] = None,
+    cache=False,
 ) -> Dict[str, MeasuredRun]:
     """Run the Table-I experiment; returns results keyed by config name."""
-    out: Dict[str, MeasuredRun] = {}
-    for name in ("Baseline", "PI"):
-        tb = single_vcpu_testbed(paper_config(name, quota=4), seed=seed)
-        wl = NetperfTcpSend(tb, tb.tested, n_streams=1, payload_size=payload_size)
-        out[name] = measure_window(tb, wl, warmup_ns, measure_ns, config_name=name)
-    return out
+    sweep = [
+        SweepPoint(
+            key=name,
+            fn=_table1_point,
+            kwargs=dict(
+                name=name,
+                seed=seed,
+                warmup_ns=warmup_ns,
+                measure_ns=measure_ns,
+                payload_size=payload_size,
+            ),
+        )
+        for name in ("Baseline", "PI")
+    ]
+    return run_sweep(sweep, jobs=jobs, cache=cache)
 
 
 def format_table1(results: Dict[str, MeasuredRun]) -> str:

@@ -28,6 +28,8 @@ class Kvm:
         self.vms: List[VirtualMachine] = []
         self.router = IrqRouter(self)
         self.global_exit_stats = ExitStats()
+        self._next_vm_id = 0
+        self._teardown_listeners: List = []
         self._exit_cost: Dict[ExitReason, int] = {
             ExitReason.IO_INSTRUCTION: self.cost.exit_handle_io_ns,
             ExitReason.EXTERNAL_INTERRUPT: self.cost.exit_handle_ext_int_ns,
@@ -49,6 +51,23 @@ class Kvm:
         vm = VirtualMachine(self, name, n_vcpus, features, vcpu_pinning)
         self.vms.append(vm)
         return vm
+
+    def allocate_vm_id(self) -> int:
+        """Hand out the next stable VM identifier (never reused)."""
+        vm_id = self._next_vm_id
+        self._next_vm_id += 1
+        return vm_id
+
+    def add_teardown_listener(self, fn) -> None:
+        """``fn(vm)`` fires when a VM is destroyed (state-cleanup hook)."""
+        self._teardown_listeners.append(fn)
+
+    def destroy_vm(self, vm: VirtualMachine) -> None:
+        """Tear a VM down: unregister it and let listeners drop per-VM state."""
+        if vm in self.vms:
+            self.vms.remove(vm)
+        for fn in self._teardown_listeners:
+            fn(vm)
 
     # ---------------------------------------------------------- exit handling
     def exit_handle_cost(self, reason: ExitReason) -> int:

@@ -34,6 +34,11 @@ class VirtualMachine:
             raise HypervisorError("vcpu_pinning length must match n_vcpus")
         self.kvm = kvm
         self.machine = kvm.machine
+        #: stable hypervisor-assigned identifier.  Controller-side per-VM
+        #: state must key on this, never on ``id(vm)``: CPython reuses
+        #: ``id()`` after garbage collection, which would alias a dead VM's
+        #: state with a freshly created one.
+        self.vm_id = kvm.allocate_vm_id()
         self.name = name
         self.features = features
         self.exit_stats = ExitStats()

@@ -1,0 +1,25 @@
+"""Parallel experiment execution: sweep fan-out, seeds, result caching.
+
+The experiment layer expresses every figure as a list of
+:class:`~repro.parallel.sweep.SweepPoint` and hands it to
+:func:`~repro.parallel.sweep.run_sweep`, which runs the points serially or
+over a ``multiprocessing`` pool (``--jobs``) and optionally consults the
+on-disk :class:`~repro.parallel.cache.ResultCache`.  Results are identical
+for every jobs value — see the determinism test in
+``tests/test_parallel_sweep.py``.
+"""
+
+from repro.parallel.cache import ResultCache, canonical, code_version, default_cache_dir
+from repro.parallel.seeds import derive_seed
+from repro.parallel.sweep import SweepPoint, effective_jobs, run_sweep
+
+__all__ = [
+    "ResultCache",
+    "SweepPoint",
+    "canonical",
+    "code_version",
+    "default_cache_dir",
+    "derive_seed",
+    "effective_jobs",
+    "run_sweep",
+]

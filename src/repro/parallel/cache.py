@@ -1,0 +1,123 @@
+"""On-disk result cache for experiment sweep points.
+
+A cached entry is keyed by the triple the ISSUE of record demands:
+
+* **config hash** — a canonical rendering of the sweep-point function and
+  its keyword arguments (feature sets, seeds, window lengths, ...);
+* **seed** — part of the kwargs, so different seeds never collide;
+* **code version** — a content hash over every ``repro`` source file, so any
+  change to the simulator or experiments invalidates the whole cache.
+
+Entries are pickles written atomically (temp file + rename); every failure
+mode (missing file, corrupt pickle, read-only filesystem) degrades to a
+cache miss — the cache is strictly best-effort and can never change
+results, only skip recomputing them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import fields, is_dataclass
+from pathlib import Path
+from typing import Any, Callable, Mapping, Optional, Tuple
+
+__all__ = ["ResultCache", "canonical", "code_version", "default_cache_dir"]
+
+_CODE_VERSION: Optional[str] = None
+
+
+def code_version() -> str:
+    """Content hash of the ``repro`` package source (memoized per process)."""
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _CODE_VERSION = digest.hexdigest()[:16]
+    return _CODE_VERSION
+
+
+def canonical(value: Any) -> str:
+    """Deterministic textual form of a sweep-point argument value.
+
+    ``repr`` alone is unstable for dicts/sets and silent about dataclass
+    subclassing; this walks containers and dataclasses explicitly so equal
+    configurations always hash equally.
+    """
+    if is_dataclass(value) and not isinstance(value, type):
+        inner = ", ".join(
+            f"{f.name}={canonical(getattr(value, f.name))}" for f in fields(value)
+        )
+        return f"{type(value).__qualname__}({inner})"
+    if isinstance(value, Mapping):
+        items = sorted(value.items(), key=lambda kv: repr(kv[0]))
+        return "{" + ", ".join(f"{canonical(k)}: {canonical(v)}" for k, v in items) + "}"
+    if isinstance(value, (set, frozenset)):
+        return "{" + ", ".join(canonical(v) for v in sorted(value, key=repr)) + "}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(canonical(v) for v in value) + "]"
+    return repr(value)
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro-es2``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-es2"
+
+
+class ResultCache:
+    """Best-effort pickle cache of sweep-point results."""
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def key_for(self, fn: Callable, kwargs: Mapping[str, Any]) -> str:
+        """Cache key for one sweep point: (config hash, seed, code version)."""
+        blob = "|".join(
+            (f"{fn.__module__}.{fn.__qualname__}", canonical(kwargs), code_version())
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """``(hit, value)`` for a key; any I/O or unpickling error is a miss."""
+        try:
+            with open(self._path(key), "rb") as fh:
+                return True, pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            return False, None
+
+    def put(self, key: str, value: Any) -> None:
+        """Store a value atomically; failures are silently ignored."""
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except (OSError, pickle.PicklingError, TypeError):
+            pass

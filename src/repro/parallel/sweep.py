@@ -1,0 +1,133 @@
+"""Fan experiment sweep points out over multiprocessing workers.
+
+The paper's figures are parameter sweeps that are embarrassingly parallel
+across configurations: every point builds its own :class:`Simulator` from an
+explicit seed, so points share no state and can run in any order.  This
+module is the single fan-out choke point:
+
+* each point is a module-level function plus picklable kwargs
+  (:class:`SweepPoint`);
+* results are merged **order-independently** — keyed by the point's index,
+  collected from ``imap_unordered`` — so worker scheduling cannot influence
+  the output;
+* an optional :class:`~repro.parallel.cache.ResultCache` short-circuits
+  points whose (config, seed, code version) triple was already computed.
+
+Determinism contract: for a fixed code version, ``run_sweep(points)`` and
+``run_sweep(points, jobs=N)`` return identical mappings for every ``N``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Union
+
+from repro.parallel.cache import ResultCache
+
+__all__ = ["SweepPoint", "run_sweep", "effective_jobs"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a parameter sweep.
+
+    ``fn`` must be a module-level callable (it crosses process boundaries by
+    reference) and ``kwargs`` must be picklable; ``key`` names the point in
+    the merged result mapping.
+    """
+
+    key: Any
+    fn: Callable[..., Any]
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+
+def effective_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve a ``--jobs`` value: None/1 → serial, <=0 → all cores."""
+    if jobs is None or jobs == 1:
+        return 1
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _execute(payload):
+    index, fn, kwargs = payload
+    return index, fn(**kwargs)
+
+
+def _pool_context():
+    # fork keeps worker startup cheap and inherits sys.path; fall back to
+    # the platform default where fork is unavailable.
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def run_sweep(
+    points: Iterable[SweepPoint],
+    jobs: Optional[int] = None,
+    cache: Union[bool, ResultCache] = False,
+    cache_dir: Optional[os.PathLike] = None,
+) -> Dict[Any, Any]:
+    """Run every sweep point and return ``{point.key: result}``.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes: ``None``/1 runs serially in-process, ``<= 0``
+        uses every core, otherwise the given count.
+    cache:
+        ``True`` (or a :class:`ResultCache` instance) consults and fills
+        the on-disk result cache; unchanged points are skipped on re-runs.
+    cache_dir:
+        Cache location override when ``cache`` is ``True``.
+    """
+    point_list: List[SweepPoint] = list(points)
+    seen_keys = set()
+    for point in point_list:
+        if point.key in seen_keys:
+            raise ValueError(f"duplicate sweep key {point.key!r}")
+        seen_keys.add(point.key)
+
+    resolved_cache: Optional[ResultCache] = None
+    if isinstance(cache, ResultCache):
+        resolved_cache = cache
+    elif cache:
+        resolved_cache = ResultCache(cache_dir)
+
+    results: Dict[int, Any] = {}
+    pending: List[int] = []
+    cache_keys: Dict[int, str] = {}
+    for index, point in enumerate(point_list):
+        if resolved_cache is not None:
+            cache_keys[index] = resolved_cache.key_for(point.fn, point.kwargs)
+            hit, value = resolved_cache.get(cache_keys[index])
+            if hit:
+                resolved_cache.hits += 1
+                results[index] = value
+                continue
+            resolved_cache.misses += 1
+        pending.append(index)
+
+    n_jobs = min(effective_jobs(jobs), max(1, len(pending)))
+    if n_jobs <= 1:
+        for index in pending:
+            point = point_list[index]
+            results[index] = point.fn(**dict(point.kwargs))
+    else:
+        payloads = [
+            (index, point_list[index].fn, dict(point_list[index].kwargs))
+            for index in pending
+        ]
+        with _pool_context().Pool(processes=n_jobs) as pool:
+            # Completion order is scheduling noise; keying by index makes
+            # the merge independent of it.
+            for index, value in pool.imap_unordered(_execute, payloads, chunksize=1):
+                results[index] = value
+
+    if resolved_cache is not None:
+        for index in pending:
+            resolved_cache.put(cache_keys[index], results[index])
+
+    return {point.key: results[index] for index, point in enumerate(point_list)}

@@ -6,16 +6,38 @@ in the order they were scheduled.  Cancellation is O(1): a cancelled event
 stays in the heap but is skipped when popped (lazy deletion), which is the
 standard approach for simulators with frequent cancellation (we cancel CPU
 segment-completion events on every preemption and interrupt poke).
+
+Hot-path layout
+---------------
+The heap stores ``(time, seq, event)`` tuples rather than bare events, so
+``heapq`` sifts compare plain ints and never call back into Python-level
+``Event.__lt__`` (``seq`` is unique, so the tie-break never reaches the
+event itself).  ``call_soon``-style events go through a FIFO side lane
+(:meth:`EventQueue.push_soon`) that skips the heap entirely: the simulator
+clock never moves backwards, so those events are already in ``(time, seq)``
+order and a deque append/popleft replaces two O(log n) heap operations.
+``pop``/``peek_time`` merge the two lanes by comparing their heads, which
+preserves the exact global firing order of a single heap.
+
+Cancelled events are dropped lazily from the top, and additionally pruned
+in batches: once enough dead entries accumulate relative to the structure
+size, the heap is rebuilt without them so sift costs do not grow with the
+cancellation backlog.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
 __all__ = ["Event", "EventQueue"]
+
+#: Batched pruning kicks in only past this many dead entries (small queues
+#: are cheap to skip lazily) and only when dead entries dominate the heap.
+_PRUNE_THRESHOLD = 64
 
 
 class Event:
@@ -29,17 +51,26 @@ class Event:
         Callback invoked as ``fn(*args)`` when the event fires.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "_cancelled", "_fired")
+    __slots__ = ("time", "seq", "fn", "args", "_cancelled", "_fired", "_queue")
 
-    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(
+        self,
+        time: int,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        queue: Optional["EventQueue"] = None,
+    ):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self._cancelled = False
         self._fired = False
+        self._queue = queue
 
-    # Heap ordering -------------------------------------------------------
+    # Heap ordering (kept for API compatibility; the queue itself compares
+    # (time, seq) tuples and never calls this). --------------------------
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
             return self.time < other.time
@@ -62,9 +93,17 @@ class Event:
         return not (self._cancelled or self._fired)
 
     def cancel(self) -> None:
-        """Prevent the event from firing.  Idempotent; a no-op after firing."""
-        if not self._fired:
-            self._cancelled = True
+        """Prevent the event from firing.  Idempotent; a no-op after firing.
+
+        Live-count bookkeeping happens here, so cancelling through the event
+        directly and through :meth:`Simulator.cancel` stay consistent.
+        """
+        if self._fired or self._cancelled:
+            return
+        self._cancelled = True
+        queue = self._queue
+        if queue is not None:
+            queue._note_cancelled(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self._cancelled else ("fired" if self._fired else "pending")
@@ -74,12 +113,14 @@ class Event:
 class EventQueue:
     """Priority queue of :class:`Event` with lazy cancellation."""
 
-    __slots__ = ("_heap", "_seq", "_live")
+    __slots__ = ("_heap", "_fifo", "_seq", "_live", "_dead")
 
     def __init__(self) -> None:
-        self._heap: List[Event] = []
+        self._heap: List[Tuple[int, int, Event]] = []
+        self._fifo: Deque[Event] = deque()
         self._seq = 0
         self._live = 0
+        self._dead = 0
 
     def __len__(self) -> int:
         """Number of *live* (non-cancelled, unfired) events."""
@@ -87,41 +128,128 @@ class EventQueue:
 
     def push(self, time: int, fn: Callable[..., Any], args: tuple = ()) -> Event:
         """Schedule ``fn(*args)`` at absolute time ``time`` and return the event."""
-        ev = Event(time, self._seq, fn, args)
+        ev = Event(time, self._seq, fn, args, self)
         self._seq += 1
-        heapq.heappush(self._heap, ev)
+        heapq.heappush(self._heap, (time, ev.seq, ev))
         self._live += 1
         return ev
 
-    def note_cancelled(self) -> None:
-        """Bookkeeping hook: caller cancelled one live event."""
+    def push_soon(self, time: int, fn: Callable[..., Any], args: tuple = ()) -> Event:
+        """FIFO fast lane for events at the current instant (``call_soon``).
+
+        ``time`` must be the current simulation time: successive calls then
+        carry non-decreasing ``(time, seq)`` keys, so the lane is sorted by
+        construction and the heap can be skipped.
+        """
+        ev = Event(time, self._seq, fn, args, self)
+        self._seq += 1
+        self._fifo.append(ev)
+        self._live += 1
+        return ev
+
+    # ---------------------------------------------------------- bookkeeping
+    def _note_cancelled(self, ev: Event) -> None:
         if self._live <= 0:
             raise SimulationError("cancelled more events than were live")
         self._live -= 1
+        self._dead += 1
+        if self._dead > _PRUNE_THRESHOLD and self._dead * 2 > len(self._heap) + len(self._fifo):
+            self._prune()
 
+    def note_cancelled(self) -> None:
+        """Deprecated bookkeeping hook, kept as a no-op for compatibility.
+
+        :meth:`Event.cancel` now updates the live count itself, so both the
+        ``Simulator.cancel`` path and direct ``event.cancel()`` calls stay
+        consistent without a separate caller-side notification.
+        """
+
+    def _prune(self) -> None:
+        """Batched removal of cancelled entries (keeps sift costs bounded)."""
+        self._heap = [entry for entry in self._heap if not entry[2]._cancelled]
+        heapq.heapify(self._heap)
+        if self._fifo:
+            self._fifo = deque(ev for ev in self._fifo if not ev._cancelled)
+        self._dead = 0
+
+    # ----------------------------------------------------------- retrieval
     def peek_time(self) -> Optional[int]:
         """Time of the next live event, or None if the queue is empty."""
         self._drop_dead()
-        if not self._heap:
-            return None
-        return self._heap[0].time
+        heap, fifo = self._heap, self._fifo
+        if heap:
+            if fifo and fifo[0].time <= heap[0][0]:
+                return fifo[0].time
+            return heap[0][0]
+        if fifo:
+            return fifo[0].time
+        return None
 
     def pop(self) -> Optional[Event]:
         """Remove and return the next live event, or None if empty."""
         self._drop_dead()
-        if not self._heap:
+        heap, fifo = self._heap, self._fifo
+        if heap:
+            head = heap[0]
+            if fifo and (fifo[0].time < head[0]
+                         or (fifo[0].time == head[0] and fifo[0].seq < head[1])):
+                ev = fifo.popleft()
+            else:
+                ev = heapq.heappop(heap)[2]
+        elif fifo:
+            ev = fifo.popleft()
+        else:
             return None
-        ev = heapq.heappop(self._heap)
+        ev._fired = True
+        self._live -= 1
+        return ev
+
+    def pop_until(self, limit: int) -> Optional[Event]:
+        """Pop the next live event if its time is ``<= limit``, else None.
+
+        Fuses ``peek_time`` and ``pop`` for the run loop, so the dead-entry
+        skip and the two-lane head comparison happen once per event.
+        """
+        self._drop_dead()
+        heap, fifo = self._heap, self._fifo
+        if heap:
+            head = heap[0]
+            if fifo and (fifo[0].time < head[0]
+                         or (fifo[0].time == head[0] and fifo[0].seq < head[1])):
+                if fifo[0].time > limit:
+                    return None
+                ev = fifo.popleft()
+            else:
+                if head[0] > limit:
+                    return None
+                ev = heapq.heappop(heap)[2]
+        elif fifo:
+            if fifo[0].time > limit:
+                return None
+            ev = fifo.popleft()
+        else:
+            return None
         ev._fired = True
         self._live -= 1
         return ev
 
     def _drop_dead(self) -> None:
         heap = self._heap
-        while heap and heap[0]._cancelled:
+        while heap and heap[0][2]._cancelled:
             heapq.heappop(heap)
+            self._dead -= 1
+        fifo = self._fifo
+        while fifo and fifo[0]._cancelled:
+            fifo.popleft()
+            self._dead -= 1
 
     def clear(self) -> None:
         """Drop every pending event."""
+        for _, _, ev in self._heap:
+            ev._queue = None
+        for ev in self._fifo:
+            ev._queue = None
         self._heap.clear()
+        self._fifo.clear()
         self._live = 0
+        self._dead = 0

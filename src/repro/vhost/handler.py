@@ -34,6 +34,9 @@ class QueueHandler:
         self.packets = 0
         self.bytes = 0
         self._rng = worker.sim.rng.stream(f"vhost:{name}")
+        #: per-packet-size base-cost memo; streams repeat a handful of sizes,
+        #: so the per-byte multiply-and-truncate is paid once per size
+        self._base_cost_memo = {}
 
     def run(self, worker):  # pragma: no cover - interface
         """Service the queue for one round (generator; consumes worker CPU)."""
@@ -60,7 +63,10 @@ class StockTxHandler(QueueHandler):
         self.worker.activate(self)
 
     def _tx_cost(self, packet) -> int:
-        base = self.cost.vhost_pkt_tx_ns + int(self.cost.vhost_per_byte_ns * packet.size)
+        base = self._base_cost_memo.get(packet.size)
+        if base is None:
+            base = self.cost.vhost_pkt_tx_ns + int(self.cost.vhost_per_byte_ns * packet.size)
+            self._base_cost_memo[packet.size] = base
         return self.cost.jittered(base, self._rng)
 
     def run(self, worker):
@@ -132,7 +138,10 @@ class RxHandler(QueueHandler):
             self.device.raise_rx_interrupt()
 
     def _rx_cost(self, packet) -> int:
-        base = self.cost.vhost_pkt_rx_ns + int(self.cost.vhost_per_byte_ns * packet.size)
+        base = self._base_cost_memo.get(packet.size)
+        if base is None:
+            base = self.cost.vhost_pkt_rx_ns + int(self.cost.vhost_per_byte_ns * packet.size)
+            self._base_cost_memo[packet.size] = base
         return self.cost.jittered(base, self._rng)
 
     def run(self, worker):

@@ -35,6 +35,10 @@ class HybridTxHandler(StockTxHandler):
         self.quota_hits = 0
         #: rounds that drained the queue (returned to notification mode)
         self.drained = 0
+        #: rounds where the post-enable re-check found the guest had
+        #: published concurrently: the handler re-suppresses and stays in
+        #: polling mode, so these are neither drains nor mode switches
+        self.recheck_races = 0
         #: total handler invocations
         self.rounds = 0
 
@@ -70,12 +74,16 @@ class HybridTxHandler(StockTxHandler):
                 worker.activate_delayed(self)
                 return
         # Algorithm 1 line 19: low load — back to notification mode.
+        q.enable_notify()
+        if not q.is_empty:
+            # Standard re-check race: the guest published concurrently.  The
+            # handler immediately re-suppresses and keeps polling, so the
+            # round counts as a race, not as a drain or a mode switch.
+            self.recheck_races += 1
+            q.suppress_notify()
+            worker.activate(self)
+            return
         self.drained += 1
         sim = self.worker.sim
         if sim.trace.enabled:
             sim.trace.record(sim.now, "mode-switch", handler=self.name, mode="notification")
-        q.enable_notify()
-        if not q.is_empty:
-            # Standard re-check race: the guest published concurrently.
-            q.suppress_notify()
-            worker.activate(self)

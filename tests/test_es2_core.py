@@ -109,8 +109,8 @@ class TestRedirector:
             assert r.select(vm, self._msg()) == first
         # After the sticky vCPU goes offline, a new target is chosen.
         r._on_vcpu_offline(vm, first)
-        tracker._online[id(vm)].discard(first)
-        tracker._offline[id(vm)].append(first)
+        tracker._online[vm.vm_id].discard(first)
+        tracker._offline[vm.vm_id].append(first)
         second = r.select(vm, self._msg())
         assert second != first
 
@@ -120,7 +120,7 @@ class TestRedirector:
         )
         r = InterruptRedirector(tracker)
         # Fabricate two online vCPUs.
-        key = id(vm)
+        key = vm.vm_id
         tracker._ensure(vm)
         tracker._online[key] = {0, 1}
         tracker._offline[key].clear()
@@ -133,7 +133,7 @@ class TestRedirector:
     def test_offline_prediction_picks_head(self, sim):
         m, kvm, tracker, vm = build_stacked_vm(sim)
         r = InterruptRedirector(tracker)
-        key = id(vm)
+        key = vm.vm_id
         tracker._ensure(vm)
         tracker._online[key] = set()
         tracker._offline[key].clear()
@@ -144,7 +144,7 @@ class TestRedirector:
     def test_offline_prediction_respects_dest_set(self, sim):
         m, kvm, tracker, vm = build_stacked_vm(sim)
         r = InterruptRedirector(tracker)
-        key = id(vm)
+        key = vm.vm_id
         tracker._ensure(vm)
         tracker._online[key] = set()
         tracker._offline[key].clear()
@@ -155,7 +155,7 @@ class TestRedirector:
     def test_online_respects_dest_set(self, sim):
         m, kvm, tracker, vm = build_stacked_vm(sim)
         r = InterruptRedirector(tracker)
-        key = id(vm)
+        key = vm.vm_id
         tracker._ensure(vm)
         tracker._online[key] = {2}
         msg = self._msg(dest_set=frozenset({0, 1}))

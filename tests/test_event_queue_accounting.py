@@ -1,0 +1,182 @@
+"""Live-count accounting and ordering of the two-lane event queue.
+
+Regression focus: ``Event.cancel()`` called directly (bypassing
+``Simulator.cancel``) must keep ``len(queue)`` in sync, and the batched
+prune of cancelled entries must never change the observable pop order.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.event import EventQueue, _PRUNE_THRESHOLD
+from repro.sim.simulator import Simulator
+
+
+class TestDirectCancelAccounting:
+    def test_direct_cancel_updates_len(self):
+        q = EventQueue()
+        evs = [q.push(i, lambda: None) for i in range(4)]
+        assert len(q) == 4
+        # Direct Event.cancel(), no note_cancelled() call from the caller.
+        evs[1].cancel()
+        assert len(q) == 3
+        evs[2].cancel()
+        assert len(q) == 2
+
+    def test_direct_cancel_is_idempotent_for_len(self):
+        q = EventQueue()
+        ev = q.push(5, lambda: None)
+        other = q.push(6, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        ev.cancel()
+        assert len(q) == 1
+        assert q.pop() is other
+
+    def test_simulator_cancel_and_direct_cancel_agree(self):
+        sim = Simulator(seed=0)
+        a = sim.schedule(10, lambda: None)
+        b = sim.schedule(20, lambda: None)
+        sim.cancel(a)
+        b.cancel()
+        assert len(sim.queue) == 0
+        sim.run_until(100)
+        assert sim.events_fired == 0
+
+    def test_cancel_after_fire_is_noop(self):
+        q = EventQueue()
+        ev = q.push(1, lambda: None)
+        assert q.pop() is ev
+        ev.cancel()  # already fired: must not touch the live count
+        assert len(q) == 0
+
+    def test_fifo_lane_direct_cancel(self):
+        q = EventQueue()
+        ev = q.push_soon(0, lambda: None)
+        keep = q.push_soon(0, lambda: None)
+        ev.cancel()
+        assert len(q) == 1
+        assert q.pop() is keep
+        assert q.pop() is None
+
+    def test_cleared_event_cancel_is_safe(self):
+        q = EventQueue()
+        ev = q.push(1, lambda: None)
+        q.clear()
+        ev.cancel()  # detached from the queue: no accounting update
+        assert len(q) == 0
+
+
+class TestBatchedPrune:
+    def test_prune_removes_dead_heap_entries(self):
+        q = EventQueue()
+        evs = [q.push(i, lambda: None) for i in range(3 * _PRUNE_THRESHOLD)]
+        for ev in evs[: 2 * _PRUNE_THRESHOLD]:
+            ev.cancel()
+        # Dead entries dominated at some point, so the heap was rebuilt.
+        assert len(q) == _PRUNE_THRESHOLD
+        assert len(q._heap) < 3 * _PRUNE_THRESHOLD
+        # Pop order of the survivors is unchanged.
+        times = []
+        while (ev := q.pop()) is not None:
+            times.append(ev.time)
+        assert times == list(range(2 * _PRUNE_THRESHOLD, 3 * _PRUNE_THRESHOLD))
+
+    def test_prune_keeps_fifo_survivors(self):
+        q = EventQueue()
+        fifo_keep = q.push_soon(0, lambda: None)
+        evs = [q.push(i + 1, lambda: None) for i in range(3 * _PRUNE_THRESHOLD)]
+        for ev in evs:
+            ev.cancel()
+        assert len(q) == 1
+        assert q.pop() is fifo_keep
+
+    def test_peek_time_skips_cancelled_heads(self):
+        q = EventQueue()
+        first = q.push(1, lambda: None)
+        q.push(2, lambda: None)
+        first.cancel()
+        assert q.peek_time() == 2
+
+
+# ----------------------------------------------------------------- property
+#: operations: (kind, value) where kind 0=push(+dt) 1=push_soon 2=cancel 3=pop
+_OPS = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=3), st.integers(min_value=0, max_value=20)),
+    max_size=120,
+)
+
+
+class _ModelQueue:
+    """Reference model: a plain sorted list with eager deletion."""
+
+    def __init__(self):
+        self.items = []  # (time, seq)
+        self.seq = 0
+        self.now = 0
+
+    def push(self, time):
+        self.items.append((time, self.seq))
+        self.seq += 1
+
+    def cancel(self, nth):
+        live = sorted(self.items)
+        del self.items[self.items.index(live[nth % len(live)])]
+
+    def pop(self):
+        if not self.items:
+            return None
+        head = min(self.items)
+        self.items.remove(head)
+        self.now = head[0]
+        return head
+
+
+@settings(max_examples=60, deadline=None)
+@given(_OPS)
+def test_queue_matches_reference_model(ops):
+    """Interleaved push/push_soon/cancel/pop behaves like a sorted list.
+
+    ``push_soon`` is only ever exercised at the current instant (its
+    contract); cancellation targets are chosen among live events, touching
+    heap and FIFO lanes alike.
+    """
+    q = EventQueue()
+    model = _ModelQueue()
+    live = {}  # seq -> Event
+
+    for kind, value in ops:
+        if kind == 0:
+            ev = q.push(model.now + value, lambda: None)
+            model.push(model.now + value)
+            live[ev.seq] = ev
+        elif kind == 1:
+            ev = q.push_soon(model.now, lambda: None)
+            model.push(model.now)
+            live[ev.seq] = ev
+        elif kind == 2:
+            if not live:
+                continue
+            nth = value % len(live)
+            target = sorted(live.values(), key=lambda e: (e.time, e.seq))[nth]
+            target.cancel()
+            model.cancel(nth)
+            del live[target.seq]
+        else:
+            got = q.pop()
+            expect = model.pop()
+            if expect is None:
+                assert got is None
+            else:
+                assert (got.time, got.seq) == expect
+                del live[got.seq]
+        assert len(q) == len(model.items)
+
+    # Drain: remaining events come out in exact (time, seq) order.
+    drained = []
+    while (ev := q.pop()) is not None:
+        drained.append((ev.time, ev.seq))
+    assert drained == sorted(model.items)

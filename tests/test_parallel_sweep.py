@@ -1,0 +1,173 @@
+"""The parallel sweep subsystem: fan-out, determinism, result cache, seeds.
+
+The contract under test is the ISSUE's determinism requirement: for a fixed
+code version, serial and ``jobs=N`` runs of the same sweep are
+byte-identical per point, and re-runs are served from the on-disk cache
+without recomputation.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.config import CostModel, FeatureSet
+from repro.parallel import (
+    ResultCache,
+    SweepPoint,
+    canonical,
+    code_version,
+    derive_seed,
+    effective_jobs,
+    run_sweep,
+)
+from repro.units import MS
+
+
+# Sweep-point functions must live at module level (pickled by reference).
+def _square(x, seed=0):
+    return x * x + seed
+
+
+def _record_call(x, log_path):
+    with open(log_path, "a") as fh:
+        fh.write(f"{x}\n")
+    return x + 1
+
+
+def _table1_small(name):
+    from repro.experiments.table1 import _table1_point
+
+    return _table1_point(name=name, seed=1, warmup_ns=5 * MS, measure_ns=10 * MS,
+                         payload_size=512)
+
+
+class TestEffectiveJobs:
+    def test_none_and_one_are_serial(self):
+        assert effective_jobs(None) == 1
+        assert effective_jobs(1) == 1
+
+    def test_zero_and_negative_use_all_cores(self):
+        import os
+
+        assert effective_jobs(0) == (os.cpu_count() or 1)
+        assert effective_jobs(-3) == (os.cpu_count() or 1)
+
+    def test_explicit_count(self):
+        assert effective_jobs(7) == 7
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "fig4:udp:8") == derive_seed(1, "fig4:udp:8")
+
+    def test_distinct_keys_give_distinct_seeds(self):
+        seeds = {derive_seed(1, f"point:{i}") for i in range(200)}
+        assert len(seeds) == 200
+
+    def test_distinct_masters_give_distinct_seeds(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_fits_in_63_bits(self):
+        for i in range(50):
+            assert 0 <= derive_seed(i, "k") < 2 ** 63
+
+
+class TestRunSweep:
+    def test_results_keyed_and_ordered_by_input(self):
+        points = [SweepPoint(key=k, fn=_square, kwargs={"x": k}) for k in (3, 1, 2)]
+        out = run_sweep(points)
+        assert list(out) == [3, 1, 2]
+        assert out == {3: 9, 1: 1, 2: 4}
+
+    def test_duplicate_keys_rejected(self):
+        points = [SweepPoint(key="a", fn=_square, kwargs={"x": 1}),
+                  SweepPoint(key="a", fn=_square, kwargs={"x": 2})]
+        with pytest.raises(ValueError):
+            run_sweep(points)
+
+    def test_parallel_matches_serial(self):
+        points = [SweepPoint(key=i, fn=_square, kwargs={"x": i, "seed": i * 7})
+                  for i in range(12)]
+        assert run_sweep(points, jobs=4) == run_sweep(points, jobs=1)
+
+    def test_empty_sweep(self):
+        assert run_sweep([]) == {}
+
+
+class TestSerialParallelDeterminism:
+    def test_experiment_results_byte_identical(self):
+        """Satellite requirement: serial vs ``--jobs 4`` byte-identical."""
+        points = [SweepPoint(key=name, fn=_table1_small, kwargs={"name": name})
+                  for name in ("Baseline", "PI")]
+        serial = run_sweep(points, jobs=1)
+        fanned = run_sweep(points, jobs=4)
+        assert list(serial) == list(fanned)
+        for key in serial:
+            assert pickle.dumps(serial[key]) == pickle.dumps(fanned[key])
+
+
+class TestResultCache:
+    def test_rerun_skips_computation(self, tmp_path):
+        log = tmp_path / "calls.log"
+        cache = ResultCache(tmp_path / "cache")
+        points = [SweepPoint(key=i, fn=_record_call,
+                             kwargs={"x": i, "log_path": str(log)})
+                  for i in range(3)]
+        first = run_sweep(points, cache=cache)
+        assert log.read_text().splitlines() == ["0", "1", "2"]
+        assert (cache.hits, cache.misses) == (0, 3)
+        second = run_sweep(points, cache=cache)
+        # No new side effects: every point was served from disk.
+        assert log.read_text().splitlines() == ["0", "1", "2"]
+        assert cache.hits == 3
+        assert first == second
+
+    def test_changed_kwargs_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_sweep([SweepPoint(key="a", fn=_square, kwargs={"x": 2})], cache=cache)
+        run_sweep([SweepPoint(key="a", fn=_square, kwargs={"x": 3})], cache=cache)
+        assert cache.hits == 0
+        assert cache.misses == 2
+
+    def test_key_includes_seed_and_code_version(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        k1 = cache.key_for(_square, {"x": 1, "seed": 1})
+        k2 = cache.key_for(_square, {"x": 1, "seed": 2})
+        assert k1 != k2
+        assert len(code_version()) == 16
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for(_square, {"x": 5})
+        cache.put(key, 25)
+        hit, value = cache.get(key)
+        assert hit and value == 25
+        cache._path(key).write_bytes(b"not a pickle")
+        hit, _ = cache.get(key)
+        assert not hit
+
+    def test_cache_true_uses_cache_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+        run_sweep([SweepPoint(key="a", fn=_square, kwargs={"x": 4})], cache=True)
+        assert any((tmp_path / "env-cache").rglob("*.pkl"))
+
+
+class TestCanonicalAndFingerprint:
+    def test_canonical_dict_order_independent(self):
+        assert canonical({"b": 1, "a": 2}) == canonical({"a": 2, "b": 1})
+
+    def test_canonical_distinguishes_dataclasses(self):
+        assert canonical(FeatureSet(pi=True)) != canonical(FeatureSet(pi=False))
+
+    def test_featureset_fingerprint_stable_and_sensitive(self):
+        a = FeatureSet(pi=True, hybrid=True)
+        assert a.fingerprint() == FeatureSet(pi=True, hybrid=True).fingerprint()
+        assert a.fingerprint() != FeatureSet(pi=True).fingerprint()
+        assert len(a.fingerprint()) == 16
+
+    def test_costmodel_fingerprint_sensitive(self):
+        a = CostModel()
+        b = CostModel(vm_exit_transition_ns=601)
+        assert a.fingerprint() != b.fingerprint()

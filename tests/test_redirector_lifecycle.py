@@ -1,0 +1,114 @@
+"""VM lifecycle vs. per-VM redirection state.
+
+Regression focus: tracker and redirector key their per-VM state by the
+stable ``vm.vm_id`` (never ``id(vm)``, which CPython reuses after GC), and
+``Kvm.destroy_vm`` drops that state so a later VM cannot inherit a dead
+VM's sticky target, load counters or online/offline lists.
+"""
+
+from __future__ import annotations
+
+from repro.config import FeatureSet
+from repro.core.controller import Es2Controller
+from repro.core.redirector import InterruptRedirector
+from repro.core.tracker import VcpuScheduleTracker
+from repro.guest.os import GuestOS
+from repro.guest.tasks import CpuBurnTask
+from repro.hw.msi import DeliveryMode, MsiMessage
+from repro.kvm.hypervisor import Kvm
+from repro.units import MS
+from tests.conftest import make_machine
+
+
+def _msg(vector=0x30, dest=0):
+    return MsiMessage(vector=vector, dest_vcpu=dest, mode=DeliveryMode.LOWEST_PRIORITY)
+
+
+def _boot_vm(kvm, name, n_vcpus=2):
+    vm = kvm.create_vm(name, n_vcpus, FeatureSet(pi=True, redirect=True, hybrid=True),
+                       vcpu_pinning=[0] * n_vcpus)
+    os = GuestOS(vm)
+    os.add_task_per_vcpu(lambda i: CpuBurnTask(f"burn{i}"))
+    vm.boot()
+    return vm
+
+
+class TestVmIdAllocation:
+    def test_vm_ids_are_unique_and_stable(self, sim):
+        m = make_machine(sim, n_cores=2)
+        kvm = Kvm(m)
+        a = kvm.create_vm("a", 1, FeatureSet())
+        b = kvm.create_vm("b", 1, FeatureSet())
+        assert a.vm_id != b.vm_id
+
+    def test_vm_ids_never_reused_after_destroy(self, sim):
+        m = make_machine(sim, n_cores=2)
+        kvm = Kvm(m)
+        a = kvm.create_vm("a", 1, FeatureSet())
+        dead_id = a.vm_id
+        kvm.destroy_vm(a)
+        del a
+        b = kvm.create_vm("b", 1, FeatureSet())
+        # Unlike id(), the allocator hands a fresh key to the new VM even
+        # though the old object is gone.
+        assert b.vm_id != dead_id
+
+
+class TestStateTeardown:
+    def test_tracker_drops_vm_state(self, sim):
+        m = make_machine(sim, n_cores=2)
+        kvm = Kvm(m)
+        tracker = VcpuScheduleTracker(kvm)
+        kvm.add_teardown_listener(tracker.forget_vm)
+        vm = _boot_vm(kvm, "vm0")
+        sim.run_until(50 * MS)
+        assert vm.vm_id in tracker._online
+        kvm.destroy_vm(vm)
+        assert vm.vm_id not in tracker._online
+        assert vm.vm_id not in tracker._offline
+        assert vm not in kvm.vms
+
+    def test_redirector_drops_vm_state(self, sim):
+        m = make_machine(sim, n_cores=2)
+        kvm = Kvm(m)
+        tracker = VcpuScheduleTracker(kvm)
+        r = InterruptRedirector(tracker)
+        kvm.add_teardown_listener(tracker.forget_vm)
+        kvm.add_teardown_listener(r.forget_vm)
+        vm = _boot_vm(kvm, "vm0")
+        sim.run_until(50 * MS)
+        target = r.select(vm, _msg())
+        assert target is not None
+        assert r.irq_load(vm, target) == 1
+        assert vm.vm_id in r._sticky
+        kvm.destroy_vm(vm)
+        assert vm.vm_id not in r._sticky
+        assert all(k[0] != vm.vm_id for k in r._irq_load)
+
+    def test_new_vm_does_not_inherit_dead_vm_state(self, sim):
+        m = make_machine(sim, n_cores=2)
+        kvm = Kvm(m)
+        controller = Es2Controller(kvm)
+        r = controller.redirector
+        vm = _boot_vm(kvm, "vm0")
+        sim.run_until(50 * MS)
+        for _ in range(5):
+            r.select(vm, _msg())
+        kvm.destroy_vm(vm)
+        del vm
+        vm2 = _boot_vm(kvm, "vm1")
+        sim.run_for(50 * MS)
+        # The fresh VM starts with clean counters regardless of where
+        # CPython placed its object.
+        assert all(r.irq_load(vm2, i) == 0 for i in range(vm2.n_vcpus))
+        assert vm2.vm_id not in r._sticky
+
+    def test_controller_wires_teardown_listeners(self, sim):
+        m = make_machine(sim, n_cores=2)
+        kvm = Kvm(m)
+        controller = Es2Controller(kvm)
+        vm = _boot_vm(kvm, "vm0")
+        sim.run_until(50 * MS)
+        assert vm.vm_id in controller.tracker._online
+        kvm.destroy_vm(vm)
+        assert vm.vm_id not in controller.tracker._online

@@ -127,6 +127,22 @@ class TestSimulator:
         with pytest.raises(SimulationError):
             sim.run_until_empty(max_events=100)
 
+    def test_run_until_empty_exact_budget(self, sim):
+        # Regression: the queue draining on exactly the max_events-th step
+        # is a clean finish, not a runaway simulation.
+        hits = []
+        for i in range(5):
+            sim.schedule(i + 1, hits.append, i)
+        sim.run_until_empty(max_events=5)
+        assert hits == [0, 1, 2, 3, 4]
+        assert len(sim.queue) == 0
+
+    def test_run_until_empty_one_over_budget_raises(self, sim):
+        for i in range(6):
+            sim.schedule(i + 1, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.run_until_empty(max_events=5)
+
     def test_events_fired_counter(self, sim):
         for i in range(7):
             sim.schedule(i, lambda: None)
