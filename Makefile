@@ -1,13 +1,35 @@
 PYTHON ?= python
 
-.PHONY: test bench-smoke experiments
+.PHONY: test lint bench-smoke bench determinism ci experiments
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
+# Prefer ruff (configured in pyproject.toml); fall back to the
+# dependency-free subset linter when ruff is not installed.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests scripts benchmarks examples; \
+	else \
+		echo "ruff not found; using scripts/lint.py fallback"; \
+		$(PYTHON) scripts/lint.py src tests scripts benchmarks examples; \
+	fi
+
 # Reduced end-to-end sweep for CI (stays within a one-minute budget).
+# The bench_smoke marker (pyproject.toml) is the single source of truth
+# for what this runs — no file paths here.
 bench-smoke:
-	PYTHONPATH=src $(PYTHON) -m pytest -q -m bench_smoke tests/test_bench_smoke.py
+	PYTHONPATH=src $(PYTHON) -m pytest -q -m bench_smoke
+
+# Machine-readable benchmark artifact: BENCH_<rev>.json.
+bench:
+	PYTHONPATH=src $(PYTHON) -m repro bench
+
+# Fixed-seed serial-vs-parallel sweep equivalence (exit 1 on divergence).
+determinism:
+	$(PYTHON) scripts/determinism_guard.py
+
+ci: lint test bench-smoke determinism
 
 # The full paper reproduction (long; parallel + cached by default).
 experiments:

@@ -13,7 +13,7 @@ import os
 
 import pytest
 
-from repro.units import MS, SEC
+from repro.units import MS
 
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 

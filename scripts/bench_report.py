@@ -1,0 +1,19 @@
+#!/usr/bin/env python
+"""Run the smoke benchmark and emit BENCH_<rev>.json.
+
+Thin wrapper over ``python -m repro bench`` for environments that invoke
+scripts by path (CI steps, cron); all logic lives in
+:mod:`repro.obs.bench` so the CLI and this script cannot drift.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.obs.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""CI determinism guard: serial and parallel sweeps must agree exactly.
+
+Runs one fixed-seed Fig.-4 point set twice — serially and with
+``--jobs 2`` — serializes both result lists to canonical JSON, and fails
+(exit 1) if they differ by a single byte.  This is the executable form of
+the determinism contract in ``repro.parallel.sweep``: worker scheduling
+must never influence results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.experiments.fig4 import run_fig4  # noqa: E402
+from repro.units import MS  # noqa: E402
+
+SEED = 1
+QUOTAS = (8, 4)
+WARMUP_NS = 20 * MS
+MEASURE_NS = 60 * MS
+
+
+def _canonical_json(points) -> str:
+    return json.dumps([dataclasses.asdict(p) for p in points], sort_keys=True, indent=1)
+
+
+def main() -> int:
+    kwargs = dict(quotas=QUOTAS, seed=SEED, warmup_ns=WARMUP_NS,
+                  measure_ns=MEASURE_NS, cache=False)
+    serial = _canonical_json(run_fig4("udp", jobs=1, **kwargs))
+    parallel = _canonical_json(run_fig4("udp", jobs=2, **kwargs))
+    if serial != parallel:
+        print("DETERMINISM GUARD FAILED: serial and --jobs 2 results differ", file=sys.stderr)
+        for i, (a, b) in enumerate(zip(serial.splitlines(), parallel.splitlines())):
+            if a != b:
+                print(f"  line {i}: serial   {a}", file=sys.stderr)
+                print(f"  line {i}: parallel {b}", file=sys.stderr)
+        return 1
+    print(f"determinism guard OK: fig4 udp seed={SEED} quotas={QUOTAS} "
+          "identical under jobs=1 and jobs=2")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,167 @@
+#!/usr/bin/env python
+"""Dependency-free fallback linter (used by ``make lint`` when ruff is absent).
+
+Implements the subset of the repo's ruff policy that matters most and can
+be checked reliably with only the standard library:
+
+* **F401** — unused imports (module and function scope);
+* **E711** — comparisons to ``None`` with ``==`` / ``!=``;
+* **A001-ish** — function/lambda parameters and assignments that shadow a
+  curated set of builtins (``id``, ``list``, ``type``, ...);
+* syntax errors (the file must parse at all).
+
+Usage: ``python scripts/lint.py [paths...]`` — directories are walked for
+``*.py``.  A ``# noqa`` anywhere on the offending line suppresses it.
+Exit code 1 when any finding survives.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+SHADOW_BUILTINS = frozenset({
+    "id", "type", "list", "dict", "set", "tuple", "input", "format", "vars",
+    "filter", "map", "max", "min", "sum", "hash", "bytes", "str", "int",
+    "float", "bool", "object", "print", "len", "range", "iter", "next",
+    "open", "dir", "all", "any",
+})
+
+Finding = Tuple[str, int, str, str]  # path, line, code, message
+
+
+def _import_bindings(tree: ast.AST) -> List[Tuple[str, int]]:
+    """(bound name, line) for every import statement in the module."""
+    out: List[Tuple[str, int]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                name = alias.asname or alias.name.split(".")[0]
+                out.append((name, node.lineno))
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                out.append((alias.asname or alias.name, node.lineno))
+    return out
+
+
+def _check_unused_imports(path: Path, tree: ast.AST, lines: List[str]) -> List[Finding]:
+    source_no_imports = "\n".join(
+        "" if re.match(r"\s*(from\s+\S+\s+)?import\s", line) or
+             re.match(r"\s*\S+,?\s*$", line) and _line_in_import_continuation(lines, i)
+        else line
+        for i, line in enumerate(lines)
+    )
+    findings = []
+    for name, lineno in _import_bindings(tree):
+        if name.startswith("_"):
+            continue
+        if not re.search(rf"\b{re.escape(name)}\b", source_no_imports):
+            findings.append((str(path), lineno, "F401", f"'{name}' imported but unused"))
+    return findings
+
+
+def _line_in_import_continuation(lines: List[str], i: int) -> bool:
+    """Heuristic: bare-name lines inside a parenthesized import block."""
+    for j in range(i, -1, -1):
+        stripped = lines[j].strip()
+        if re.match(r"(from\s+\S+\s+)?import\s.*\($", stripped):
+            return True
+        if j < i and (stripped.endswith(")") or not stripped or
+                      not re.match(r"[\w.,()\s*]+$", stripped)):
+            return False
+    return False
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, path: Path, lines: List[str]):
+        self.path = path
+        self.lines = lines
+        self.findings: List[Finding] = []
+        self._class_depth = 0  # methods may legitimately be called max/min/...
+
+    def _add(self, node: ast.AST, code: str, message: str) -> None:
+        self.findings.append((str(self.path), node.lineno, code, message))
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        for op, comparator in zip(node.ops, node.comparators):
+            if isinstance(op, (ast.Eq, ast.NotEq)) and (
+                isinstance(comparator, ast.Constant) and comparator.value is None
+            ):
+                token = "==" if isinstance(op, ast.Eq) else "!="
+                fix = "is" if isinstance(op, ast.Eq) else "is not"
+                self._add(node, "E711", f"comparison to None with '{token}' (use '{fix}')")
+        self.generic_visit(node)
+
+    def _check_args(self, node) -> None:
+        args = node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            if arg.arg in SHADOW_BUILTINS:
+                self._add(node, "A002", f"argument '{arg.arg}' shadows a builtin")
+
+    def visit_FunctionDef(self, node) -> None:
+        if node.name in SHADOW_BUILTINS and self._class_depth == 0:
+            self._add(node, "A001", f"function '{node.name}' shadows a builtin")
+        self._check_args(node)
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_depth += 1
+        self.generic_visit(node)
+        self._class_depth -= 1
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_args(node)
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Name) and target.id in SHADOW_BUILTINS:
+                self._add(node, "A001", f"assignment to '{target.id}' shadows a builtin")
+        self.generic_visit(node)
+
+
+def lint_file(path: Path) -> List[Finding]:
+    """All findings for one file (a noqa comment on the line suppresses)."""
+    source = path.read_text(encoding="utf-8")
+    lines = source.splitlines()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [(str(path), exc.lineno or 0, "E999", f"syntax error: {exc.msg}")]
+    visitor = _Visitor(path, lines)
+    visitor.visit(tree)
+    findings = _check_unused_imports(path, tree, lines) + visitor.findings
+    return [
+        f for f in findings
+        if f[1] == 0 or f[1] > len(lines) or "noqa" not in lines[f[1] - 1]
+    ]
+
+
+def main(argv: List[str]) -> int:
+    roots = [Path(p) for p in (argv or ["src", "tests", "scripts"])]
+    files: List[Path] = []
+    for root in roots:
+        if root.is_dir():
+            files.extend(sorted(root.rglob("*.py")))
+        elif root.suffix == ".py":
+            files.append(root)
+    findings: List[Finding] = []
+    for path in files:
+        findings.extend(lint_file(path))
+    for path, lineno, code, message in sorted(findings):
+        print(f"{path}:{lineno}: {code} {message}")
+    print(f"lint: {len(files)} files checked, {len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -42,6 +42,9 @@ class InterruptRedirector:
         self.redirects_online = 0
         self.redirects_predicted = 0
         self.ineligible = 0
+        tracker.sim.obs.counters.register(
+            "es2.redirector", self, ("redirects_online", "redirects_predicted", "ineligible")
+        )
 
     # ------------------------------------------------------------- selection
     def select(self, vm: "VirtualMachine", msg: MsiMessage) -> Optional[int]:

@@ -34,10 +34,12 @@ class VcpuScheduleTracker:
 
     def __init__(self, kvm: "Kvm"):
         self.kvm = kvm
+        self.sim = kvm.sim
         self._online: Dict[int, Set[int]] = {}
         self._offline: Dict[int, Deque[int]] = {}
         self._offline_listeners: List[Callable] = []
         self.transitions = 0
+        self.sim.obs.counters.register("es2.tracker", self, ("transitions",))
         kvm.machine.notifiers.register(
             PreemptionNotifier(self._sched_in, self._sched_out, name="es2-tracker")
         )
@@ -69,6 +71,8 @@ class VcpuScheduleTracker:
         except ValueError:
             pass
         self._online[key].add(thread.index)
+        if self.sim.trace.enabled:
+            self.sim.trace.record(self.sim.now, "sched-in", vm=vm.name, vcpu=thread.index)
 
     def _sched_out(self, thread, core) -> None:
         vm = thread.vm
@@ -78,6 +82,8 @@ class VcpuScheduleTracker:
         self._online[key].discard(thread.index)
         if thread.index not in self._offline[key]:
             self._offline[key].append(thread.index)
+        if self.sim.trace.enabled:
+            self.sim.trace.record(self.sim.now, "sched-out", vm=vm.name, vcpu=thread.index)
         for fn in self._offline_listeners:
             fn(vm, thread.index)
 

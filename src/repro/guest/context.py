@@ -10,7 +10,7 @@ application threads share the vCPU.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional, TYPE_CHECKING
+from typing import Deque, Optional, TYPE_CHECKING
 
 from repro.errors import GuestError
 from repro.guest.ops import GHalt, GKick, GWork

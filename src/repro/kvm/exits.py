@@ -53,6 +53,15 @@ class ExitStats:
         """Append one record."""
         self.counts[reason] += 1
 
+    def as_counts(self) -> Dict[str, int]:
+        """Per-reason cumulative counts keyed by reason value (for registries)."""
+        return {reason.value: n for reason, n in self.counts.items()}
+
+    def reset(self) -> None:
+        """Zero every counter and drop all marks (between measurement runs)."""
+        self.counts = {r: 0 for r in ExitReason}
+        self._marks.clear()
+
     @property
     def total(self) -> int:
         """Sum over all categories/causes."""

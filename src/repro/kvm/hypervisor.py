@@ -28,6 +28,9 @@ class Kvm:
         self.vms: List[VirtualMachine] = []
         self.router = IrqRouter(self)
         self.global_exit_stats = ExitStats()
+        self.sim.obs.counters.register_fn(
+            "kvm.exits", self.global_exit_stats.as_counts, reset_fn=self.global_exit_stats.reset
+        )
         self._next_vm_id = 0
         self._teardown_listeners: List = []
         self._exit_cost: Dict[ExitReason, int] = {
@@ -50,6 +53,9 @@ class Kvm:
         """Create and register a VM under this hypervisor."""
         vm = VirtualMachine(self, name, n_vcpus, features, vcpu_pinning)
         self.vms.append(vm)
+        self.sim.obs.counters.register_fn(
+            f"kvm.vm.{name}.exits", vm.exit_stats.as_counts, reset_fn=vm.exit_stats.reset
+        )
         return vm
 
     def allocate_vm_id(self) -> int:
@@ -66,6 +72,7 @@ class Kvm:
         """Tear a VM down: unregister it and let listeners drop per-VM state."""
         if vm in self.vms:
             self.vms.remove(vm)
+        self.sim.obs.counters.unregister_prefix(f"kvm.vm.{vm.name}.")
         for fn in self._teardown_listeners:
             fn(vm)
 

@@ -39,6 +39,7 @@ class IrqRouter:
         self._interceptor: Optional[Interceptor] = None
         self.delivered = 0
         self.redirected = 0
+        kvm.sim.obs.counters.register("kvm.router", self, ("delivered", "redirected"))
 
     def set_interceptor(self, fn: Optional[Interceptor]) -> None:
         """Install (or remove) the ``kvm_set_msi_irq`` interceptor."""

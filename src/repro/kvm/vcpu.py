@@ -68,6 +68,9 @@ class Vcpu(Thread):
         self._halted = False
         self._others_rng = self.sim.rng.stream(f"others:{self.name}")
         self._others_budget = self._sample_others_budget()
+        self.sim.obs.counters.register(
+            f"kvm.vm.{vm.name}.vcpu{index}", self, ("entries", "interrupts_handled")
+        )
 
     # ------------------------------------------------------------ properties
     @property

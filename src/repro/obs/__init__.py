@@ -1,0 +1,54 @@
+"""repro.obs — simulation-wide observability.
+
+The paper's entire argument is made through observed event-path metrics
+(exit breakdowns, TIG, mode-switch counts, redirect decisions); this
+package is the layer that makes those observable *uniformly* instead of
+through per-module ad-hoc counters:
+
+* :class:`TraceBus` — ring-buffered structured trace records with
+  category filters (``exit``, ``irq``, ``mode_switch``, ``redirect``,
+  ``sched``, ``net``); zero-cost when disabled.
+* :class:`CounterRegistry` — per-subsystem counter registration, so one
+  call can snapshot or reset every counter in a simulation.
+* :class:`EventProfiler` — per-event-type wall-time and sim-time
+  histograms for the simulator run loop.
+* :mod:`repro.obs.bench` — the machine-readable benchmark pipeline that
+  turns all of the above into a schema-versioned ``BENCH_<rev>.json``
+  (imported lazily: it pulls in the experiment layer).
+
+Every :class:`~repro.sim.simulator.Simulator` owns an
+:class:`Observability` instance as ``sim.obs``.  Modules in this package
+must not import from the rest of ``repro`` (the simulator imports us);
+``bench`` is the deliberate exception and is therefore not imported here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.counters import CounterRegistry
+from repro.obs.profile import EventProfiler, ProfileEntry
+from repro.obs.tracebus import KIND_CATEGORY, TRACE_CATEGORIES, TraceBus, TraceEvent
+
+__all__ = [
+    "Observability",
+    "CounterRegistry",
+    "EventProfiler",
+    "ProfileEntry",
+    "TraceBus",
+    "TraceEvent",
+    "TRACE_CATEGORIES",
+    "KIND_CATEGORY",
+]
+
+
+class Observability:
+    """Per-simulator observability root: the counter registry plus the
+    (optional) run-loop profiler.  The trace recorder stays on
+    ``sim.trace`` — it predates this package and hot paths reach it
+    directly — but :meth:`repro.sim.simulator.Simulator.trace_bus`
+    installs a :class:`TraceBus` there."""
+
+    def __init__(self) -> None:
+        self.counters = CounterRegistry()
+        self.profiler: Optional[EventProfiler] = None

@@ -1,0 +1,258 @@
+"""The machine-readable benchmark pipeline: ``repro bench``.
+
+Runs the same reduced end-to-end sweep as the ``bench_smoke`` test marker
+— single-vCPU TCP send (Table I shape), the UDP quota-8 hybrid point
+(Fig. 4 shape) and a multiplexed ping latency point (Fig. 7 shape) — but
+instead of asserting qualitative claims it *measures through the
+observability layer* and emits a canonical, schema-versioned
+``BENCH_<rev>.json``:
+
+* throughput (Gbps) and TIG per configuration,
+* VM-exit rates, total and per paper category,
+* ping latency percentiles (p50/p99) under vCPU multiplexing,
+* the full per-subsystem counter snapshot (:class:`~repro.obs.CounterRegistry`),
+* simulator wall-rate (events/second of host time) and the per-event-type
+  profile (:class:`~repro.obs.EventProfiler`),
+
+so a perf regression — simulated *or* of the simulator itself — becomes a
+diffable artifact in CI rather than an anecdote.
+
+Unlike the rest of :mod:`repro.obs`, this module imports the experiment
+layer; it is deliberately **not** imported from ``repro.obs.__init__``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from typing import Any, Dict, Optional
+
+from repro.core.configs import paper_config
+from repro.experiments.runner import measure_window
+from repro.experiments.testbed import multiplexed_testbed, single_vcpu_testbed
+from repro.metrics.latency import LatencySeries
+from repro.units import MS
+from repro.workloads.netperf import NetperfTcpSend, NetperfUdpSend
+from repro.workloads.ping import PingWorkload
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "current_revision",
+    "run_bench",
+    "write_report",
+    "format_bench",
+    "main",
+]
+
+#: Bump on any backwards-incompatible change to the report layout.
+BENCH_SCHEMA_VERSION = 1
+
+#: Default windows — identical to ``tests/test_bench_smoke.py``.
+DEFAULT_WARMUP_NS = 20 * MS
+DEFAULT_MEASURE_NS = 60 * MS
+DEFAULT_LATENCY_NS = 250 * MS
+
+
+def current_revision() -> str:
+    """Short VCS revision for the artifact name (env override: REPRO_REV)."""
+    env = os.environ.get("REPRO_REV")
+    if env:
+        return env
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+        if out.returncode == 0 and out.stdout.strip():
+            return out.stdout.strip()
+    except OSError:
+        pass
+    return "dev"
+
+
+def _throughput_point(
+    name: str, seed: int, warmup_ns: int, measure_ns: int, profile: bool
+) -> Dict[str, Any]:
+    """One single-vCPU TCP-send configuration, measured through the obs layer."""
+    tb = single_vcpu_testbed(paper_config(name, quota=4), seed=seed)
+    if profile:
+        tb.sim.enable_profiling()
+    wl = NetperfTcpSend(tb, tb.tested, n_streams=1, payload_size=1024)
+    wall0 = time.perf_counter()
+    run = measure_window(tb, wl, warmup_ns, measure_ns, config_name=name)
+    wall = time.perf_counter() - wall0
+    point: Dict[str, Any] = {
+        "throughput_gbps": run.throughput_gbps,
+        "tig": run.tig,
+        "exits_per_sec": {"total": run.total_exit_rate, **run.exit_rates.as_dict()},
+        "counters": tb.sim.obs.counters.flat(),
+        "sim": {
+            "events_fired": tb.sim.events_fired,
+            "wall_seconds": wall,
+            "events_per_sec_wall": tb.sim.events_fired / wall if wall > 0 else 0.0,
+        },
+    }
+    if profile:
+        point["profile_top"] = tb.sim.obs.profiler.summary(top=8)
+    return point
+
+
+def _hybrid_point(seed: int, warmup_ns: int, measure_ns: int) -> Dict[str, Any]:
+    """The Fig.-4 anchor: UDP I/O-instruction exits, baseline vs quota 8."""
+    rates = {}
+    for label, name, quota in (("baseline", "Baseline", None), ("quota8", "PI+H", 8)):
+        feats = paper_config(name) if quota is None else paper_config(name, quota=quota)
+        tb = single_vcpu_testbed(feats, seed=seed)
+        wl = NetperfUdpSend(tb, tb.tested, n_streams=1, payload_size=256)
+        run = measure_window(tb, wl, warmup_ns, measure_ns, config_name=name)
+        rates[label] = {
+            "io_exits_per_sec": run.exit_rates.io_request,
+            "throughput_gbps": run.throughput_gbps,
+        }
+    base = rates["baseline"]["io_exits_per_sec"]
+    hybrid = rates["quota8"]["io_exits_per_sec"]
+    # None = the hybrid point eliminated I/O exits entirely (a finite
+    # factor would be Infinity, which strict JSON cannot carry).
+    rates["io_exit_reduction_factor"] = (base / hybrid) if hybrid > 0 else None
+    return rates
+
+
+def _latency_point(name: str, seed: int, duration_ns: int) -> Dict[str, Any]:
+    """One Fig.-7-shaped ping point: RTT percentiles under multiplexing."""
+    tb = multiplexed_testbed(paper_config(name, quota=4), seed=seed)
+    wl = PingWorkload(tb, tb.tested, interval_ns=5 * MS)
+    wl.start()
+    tb.run_for(duration_ns)
+    series = LatencySeries(wl.pinger.rtts_ns)
+    return {
+        "samples": len(series),
+        "mean_ms": series.mean_ms(),
+        "p50_ms": series.percentile_ms(50),
+        "p99_ms": series.percentile_ms(99),
+        "max_ms": series.max_ms(),
+    }
+
+
+def run_bench(
+    seed: int = 1,
+    warmup_ns: int = DEFAULT_WARMUP_NS,
+    measure_ns: int = DEFAULT_MEASURE_NS,
+    latency_duration_ns: int = DEFAULT_LATENCY_NS,
+    profile: bool = True,
+    revision: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Run the smoke sweep and return the full report as a dict."""
+    wall0 = time.perf_counter()
+    throughput = {
+        name: _throughput_point(name, seed, warmup_ns, measure_ns,
+                                profile=profile and name == "PI")
+        for name in ("Baseline", "PI")
+    }
+    hybrid = _hybrid_point(seed, warmup_ns, measure_ns)
+    latency = {
+        name: _latency_point(name, seed, latency_duration_ns)
+        for name in ("Baseline", "PI+H+R")
+    }
+    wall = time.perf_counter() - wall0
+    total_events = sum(p["sim"]["events_fired"] for p in throughput.values())
+    report: Dict[str, Any] = {
+        "schema": {"name": "repro-bench", "version": BENCH_SCHEMA_VERSION},
+        "revision": revision if revision is not None else current_revision(),
+        "generated_unix": int(time.time()),
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "params": {
+            "seed": seed,
+            "warmup_ns": warmup_ns,
+            "measure_ns": measure_ns,
+            "latency_duration_ns": latency_duration_ns,
+        },
+        "throughput": throughput,
+        "hybrid": hybrid,
+        "latency_ms": latency,
+        "wall_seconds": wall,
+        "events_per_sec_wall": total_events / wall if wall > 0 else 0.0,
+    }
+    return report
+
+
+def write_report(report: Dict[str, Any], path: Optional[str] = None) -> str:
+    """Serialize the report to ``BENCH_<rev>.json`` (or ``path``); returns the path."""
+    if path is None:
+        path = f"BENCH_{report['revision']}.json"
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True, allow_nan=False)
+        fh.write("\n")
+    return path
+
+
+def format_bench(report: Dict[str, Any]) -> str:
+    """A short human-readable summary of one report (the JSON is canonical)."""
+    lines = [
+        f"bench report rev={report['revision']} "
+        f"(schema v{report['schema']['version']}, seed={report['params']['seed']})",
+    ]
+    for name, point in report["throughput"].items():
+        ex = point["exits_per_sec"]
+        lines.append(
+            f"  {name:<8} {point['throughput_gbps']:.3f} Gbps  TIG={point['tig']:.3f}  "
+            f"exits/s={ex['total']:.0f}"
+        )
+    hybrid = report["hybrid"]
+    factor = hybrid["io_exit_reduction_factor"]
+    lines.append(
+        f"  hybrid   io-exits/s {hybrid['baseline']['io_exits_per_sec']:.0f} -> "
+        f"{hybrid['quota8']['io_exits_per_sec']:.0f} "
+        + (f"({factor:.0f}x reduction at quota 8)" if factor is not None
+           else "(eliminated at quota 8)")
+    )
+    for name, point in report["latency_ms"].items():
+        lines.append(
+            f"  ping {name:<8} p50={point['p50_ms']:.3f} ms  p99={point['p99_ms']:.3f} ms "
+            f"({point['samples']} samples)"
+        )
+    lines.append(
+        f"  simulator {report['events_per_sec_wall']:,.0f} events/s wall "
+        f"({report['wall_seconds']:.1f} s total)"
+    )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    """Entry point shared by ``repro bench`` and ``scripts/bench_report.py``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Run the smoke sweep and emit a schema-versioned BENCH_<rev>.json",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--warmup-ms", type=int, default=DEFAULT_WARMUP_NS // MS)
+    parser.add_argument("--measure-ms", type=int, default=DEFAULT_MEASURE_NS // MS)
+    parser.add_argument("--latency-ms", type=int, default=DEFAULT_LATENCY_NS // MS)
+    parser.add_argument("--output", default=None, help="output path (default BENCH_<rev>.json)")
+    parser.add_argument("--no-profile", action="store_true",
+                        help="skip the per-event-type run-loop profile")
+    args = parser.parse_args(argv)
+    report = run_bench(
+        seed=args.seed,
+        warmup_ns=args.warmup_ms * MS,
+        measure_ns=args.measure_ms * MS,
+        latency_duration_ns=args.latency_ms * MS,
+        profile=not args.no_profile,
+    )
+    path = write_report(report, args.output)
+    print(format_bench(report))
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,158 @@
+"""Lightweight per-event-type profiling for the simulator run loop.
+
+When installed (``Simulator.enable_profiling()``), every fired event is
+timed with ``time.perf_counter_ns`` and folded into a per-event-type
+profile: a wall-time histogram (where does the host CPU go?) and a
+sim-time inter-arrival histogram (what does the event mix look like on
+the simulated clock?).  When not installed the run loop pays a single
+``is None`` check per event and the simulation output is bit-for-bit
+unchanged — profiling is an observer, never a participant.
+
+This module is dependency-free on purpose (no ``repro.sim`` imports):
+``repro.obs`` must be importable from inside the simulator without
+creating an import cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["EventProfiler", "ProfileEntry"]
+
+
+class _MiniStat:
+    """Count/total/min/max/last accumulator (Welford is overkill here)."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+
+    def add(self, x: int) -> None:
+        self.count += 1
+        self.total += x
+        if self.min is None or x < self.min:
+            self.min = x
+        if self.max is None or x > self.max:
+            self.max = x
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class _LogHistogram:
+    """Power-of-two bucket histogram: bounded memory, enough resolution."""
+
+    __slots__ = ("buckets",)
+
+    def __init__(self) -> None:
+        self.buckets: Dict[int, int] = {}
+
+    def add(self, x: int) -> None:
+        bucket = max(0, int(x)).bit_length()
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    def as_dict(self) -> Dict[str, int]:
+        """``{"<2^k": count}`` rows, ascending."""
+        return {f"<2^{k}": self.buckets[k] for k in sorted(self.buckets)}
+
+    def percentile_bound(self, p: float) -> int:
+        """Upper bound (2**k) of the bucket containing percentile ``p``."""
+        total = sum(self.buckets.values())
+        if total == 0:
+            return 0
+        threshold = total * p / 100.0
+        seen = 0
+        for k in sorted(self.buckets):
+            seen += self.buckets[k]
+            if seen >= threshold:
+                return 1 << k
+        return 1 << max(self.buckets)
+
+
+class ProfileEntry:
+    """Per-event-type profile: wall-time and sim-time views."""
+
+    __slots__ = ("key", "wall", "wall_hist", "sim_gap", "sim_gap_hist", "_last_sim_t")
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self.wall = _MiniStat()
+        self.wall_hist = _LogHistogram()
+        self.sim_gap = _MiniStat()
+        self.sim_gap_hist = _LogHistogram()
+        self._last_sim_t: Optional[int] = None
+
+    def add(self, wall_ns: int, sim_t: int) -> None:
+        self.wall.add(wall_ns)
+        self.wall_hist.add(wall_ns)
+        if self._last_sim_t is not None:
+            gap = sim_t - self._last_sim_t
+            self.sim_gap.add(gap)
+            self.sim_gap_hist.add(gap)
+        self._last_sim_t = sim_t
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.wall.count,
+            "wall_total_ns": self.wall.total,
+            "wall_mean_ns": self.wall.mean,
+            "wall_max_ns": self.wall.max or 0,
+            "wall_p99_bound_ns": self.wall_hist.percentile_bound(99),
+            "wall_hist": self.wall_hist.as_dict(),
+            "sim_gap_mean_ns": self.sim_gap.mean,
+            "sim_gap_hist": self.sim_gap_hist.as_dict(),
+        }
+
+
+class EventProfiler:
+    """Aggregates per-event-type timing; keyed by the event callback."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, ProfileEntry] = {}
+        self.events = 0
+        self.wall_total_ns = 0
+
+    @staticmethod
+    def key_for(fn: Callable[..., Any]) -> str:
+        """Stable display key for an event callback."""
+        name = getattr(fn, "__qualname__", None) or getattr(fn, "__name__", repr(fn))
+        owner = getattr(fn, "__self__", None)
+        if owner is not None and name.count(".") == 0:  # pragma: no cover
+            name = f"{type(owner).__name__}.{name}"
+        return name
+
+    def record(self, fn: Callable[..., Any], wall_ns: int, sim_t: int) -> None:
+        """Fold one fired event into the profile."""
+        key = self.key_for(fn)
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = self._entries[key] = ProfileEntry(key)
+        entry.add(wall_ns, sim_t)
+        self.events += 1
+        self.wall_total_ns += wall_ns
+
+    # ---------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> List[ProfileEntry]:
+        """Profile entries, heaviest wall-time first."""
+        return sorted(self._entries.values(), key=lambda e: -e.wall.total)
+
+    def summary(self, top: int = 0) -> Dict[str, Dict[str, Any]]:
+        """``{event-type: profile}`` (heaviest first, all if ``top`` <= 0)."""
+        entries = self.entries()
+        if top > 0:
+            entries = entries[:top]
+        return {e.key: e.as_dict() for e in entries}
+
+    def clear(self) -> None:
+        """Drop all profile state."""
+        self._entries.clear()
+        self.events = 0
+        self.wall_total_ns = 0

@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from time import perf_counter_ns
+from typing import Any, Callable, Iterable, Optional
 
 from repro.errors import SimulationError
+from repro.obs import EventProfiler, Observability, TraceBus
 from repro.sim.event import Event, EventQueue
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import NullTracer, TraceRecorder
@@ -32,6 +34,8 @@ class Simulator:
         self.queue = EventQueue()
         self.rng = RngRegistry(seed)
         self.trace = trace if trace is not None else NullTracer()
+        self.obs = Observability()
+        self._profiler: Optional[EventProfiler] = None
         self._running = False
         self._events_fired = 0
 
@@ -40,6 +44,27 @@ class Simulator:
     def events_fired(self) -> int:
         """Total number of events executed so far (statistics/debugging)."""
         return self._events_fired
+
+    # -------------------------------------------------------- observability
+    def trace_bus(
+        self,
+        categories: Optional[Iterable[str]] = None,
+        kinds: Optional[Iterable[str]] = None,
+        capacity: int = 65536,
+    ) -> TraceBus:
+        """Install (and return) a :class:`~repro.obs.TraceBus` as the tracer."""
+        self.trace = TraceBus(categories=categories, kinds=kinds, capacity=capacity)
+        return self.trace
+
+    def enable_profiling(self) -> EventProfiler:
+        """Install per-event-type wall/sim-time profiling on the run loop."""
+        if self._profiler is None:
+            self._profiler = self.obs.profiler = EventProfiler()
+        return self._profiler
+
+    def disable_profiling(self) -> None:
+        """Remove the run-loop profiler (profile data is discarded)."""
+        self._profiler = self.obs.profiler = None
 
     def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` ns from now."""
@@ -80,7 +105,13 @@ class Simulator:
             raise SimulationError("event heap yielded an event in the past")
         self.now = ev.time
         self._events_fired += 1
-        ev.fn(*ev.args)
+        prof = self._profiler
+        if prof is None:
+            ev.fn(*ev.args)
+        else:
+            t0 = perf_counter_ns()
+            ev.fn(*ev.args)
+            prof.record(ev.fn, perf_counter_ns() - t0, self.now)
         return True
 
     def run_until(self, time: int) -> None:
@@ -92,15 +123,27 @@ class Simulator:
             raise SimulationError(f"run_until({time}) is in the past (now={self.now})")
         self._running = True
         pop_until = self.queue.pop_until
+        prof = self._profiler
         fired = 0
         try:
-            while True:
-                ev = pop_until(time)
-                if ev is None:
-                    break
-                self.now = ev.time
-                fired += 1
-                ev.fn(*ev.args)
+            if prof is None:
+                while True:
+                    ev = pop_until(time)
+                    if ev is None:
+                        break
+                    self.now = ev.time
+                    fired += 1
+                    ev.fn(*ev.args)
+            else:
+                while True:
+                    ev = pop_until(time)
+                    if ev is None:
+                        break
+                    self.now = ev.time
+                    fired += 1
+                    t0 = perf_counter_ns()
+                    ev.fn(*ev.args)
+                    prof.record(ev.fn, perf_counter_ns() - t0, self.now)
         finally:
             self._events_fired += fired
             self._running = False

@@ -4,6 +4,12 @@ Tracing is off by default (the :class:`NullTracer` costs one attribute check
 per potential record).  Tests and debugging sessions install a
 :class:`TraceRecorder`, optionally filtered by event kind, and assert on the
 recorded sequence — e.g. that a posted interrupt never produced a VM exit.
+
+For long runs and category-level filtering, prefer the ring-buffered
+:class:`repro.obs.TraceBus` (``sim.trace_bus(categories=["exit"])``): the
+same ``record`` protocol, bounded memory, and per-subsystem categories.
+This module keeps the unbounded append-only recorder because tests assert
+on *complete* sequences.
 """
 
 from __future__ import annotations

@@ -25,6 +25,9 @@ __all__ = ["QueueHandler", "StockTxHandler", "RxHandler"]
 class QueueHandler:
     """Base class for virtqueue handlers owned by a vhost worker."""
 
+    #: counters declared to the simulation-wide registry (subclasses extend)
+    COUNTERS = ("packets", "bytes")
+
     def __init__(self, worker: "VhostWorker", device: "VirtioNetDevice", name: str):
         self.worker = worker
         self.device = device
@@ -37,6 +40,9 @@ class QueueHandler:
         #: per-packet-size base-cost memo; streams repeat a handful of sizes,
         #: so the per-byte multiply-and-truncate is paid once per size
         self._base_cost_memo = {}
+        # Values are read lazily, so registering before subclass fields are
+        # assigned is fine; the class attribute names the full counter set.
+        worker.sim.obs.counters.register(f"vhost.{name}", self, self.COUNTERS)
 
     def run(self, worker):  # pragma: no cover - interface
         """Service the queue for one round (generator; consumes worker CPU)."""
@@ -49,6 +55,8 @@ class QueueHandler:
 
 class StockTxHandler(QueueHandler):
     """vhost-net ``handle_tx``: notification mode with in-service suppression."""
+
+    COUNTERS = QueueHandler.COUNTERS + ("weight_exhausted",)
 
     def __init__(self, worker, device, weight: int):
         super().__init__(worker, device, f"{device.name}/tx")
@@ -99,6 +107,8 @@ class RxHandler(QueueHandler):
     kicks, so this path never produces I/O-instruction exits (RX-ring
     refill notifications are abstracted away; see DESIGN.md).
     """
+
+    COUNTERS = QueueHandler.COUNTERS + ("ring_stalls", "signals", "coalesced_signals")
 
     def __init__(self, worker, device, weight: int, coalesce_ns: int = 0):
         super().__init__(worker, device, f"{device.name}/rx")

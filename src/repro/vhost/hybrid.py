@@ -27,6 +27,10 @@ __all__ = ["HybridTxHandler"]
 class HybridTxHandler(StockTxHandler):
     """Quota-driven hybrid notification/polling TX handler."""
 
+    COUNTERS = StockTxHandler.COUNTERS + (
+        "kick_wakeups", "quota_hits", "drained", "recheck_races", "rounds",
+    )
+
     def __init__(self, worker, device, quota: int):
         super().__init__(worker, device, weight=quota)
         self.quota = quota

@@ -27,6 +27,7 @@ class VhostWorker(Thread):
         self._active_set: Set[int] = set()
         self.rounds = 0
         self.wakeups = 0
+        self.sim.obs.counters.register(f"vhost.worker.{name}", self, ("rounds", "wakeups"))
 
     def activate(self, handler) -> None:
         """Queue a handler for service (idempotent while queued)."""

@@ -47,11 +47,20 @@ class VirtioNetDevice:
         self.rx_interrupts_raised = 0
         self.rx_interrupts_suppressed = 0
         vm.devices.append(self)
+        self.machine.sim.obs.counters.register(
+            f"virtio.{self.name}",
+            self,
+            ("tx_wire_packets", "rx_interrupts_raised", "rx_interrupts_suppressed",
+             "backlog_drops"),
+        )
 
     # ------------------------------------------------------------- wire side
     def transmit_to_wire(self, packet) -> None:
         """Backend finished a TX packet: put it on the physical NIC."""
         self.tx_wire_packets += 1
+        sim = self.machine.sim
+        if sim.trace.enabled:
+            sim.trace.record(sim.now, "net-tx", device=self.name, size=packet.size)
         self.machine.nic.send(packet)
 
     def enqueue_from_wire(self, packet) -> None:
@@ -59,6 +68,9 @@ class VirtioNetDevice:
         if len(self.backlog) >= self.backlog_capacity:
             self.backlog_drops += 1
             return
+        sim = self.machine.sim
+        if sim.trace.enabled:
+            sim.trace.record(sim.now, "net-rx", device=self.name, size=packet.size)
         self.backlog.append(packet)
         if self.vhost is not None:
             self.vhost.rx_handler.on_wire_traffic()

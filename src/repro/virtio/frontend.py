@@ -18,7 +18,6 @@ from typing import Callable, Optional, TYPE_CHECKING
 from repro.errors import VirtioError
 from repro.guest.ops import GKick, GWork
 from repro.hw.msi import DeliveryMode, MsiMessage
-from repro.units import us
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.guest.os import GuestOS

@@ -26,7 +26,7 @@ from repro.net.packet import ETHERNET_OVERHEAD, MSS, TCP_HEADER, Packet
 from repro.sim.stats import Histogram
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.experiments.testbed import Testbed, VmSetup
+    from repro.experiments.testbed import Testbed
 
 __all__ = ["ServerWorkerTask", "GuestServiceFlow", "ClosedLoopClient", "Request"]
 

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.config import CostModel, SchedParams
 from repro.hw.machine import Machine
 from repro.sim.simulator import Simulator
 

@@ -5,14 +5,14 @@ from __future__ import annotations
 import pytest
 
 from repro.config import FeatureSet
-from repro.errors import ConfigError, GuestCrash
+from repro.errors import ConfigError
 from repro.guest.ops import GWork
 from repro.guest.os import GuestOS
 from repro.guest.tasks import CpuBurnTask
 from repro.kvm.exits import ExitReason
 from repro.kvm.hypervisor import Kvm
 from repro.related.eli import EliController
-from repro.units import MS, SEC, us
+from repro.units import MS, us
 from tests.conftest import make_machine
 
 

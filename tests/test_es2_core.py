@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.config import FeatureSet
 from repro.core.redirector import InterruptRedirector
 from repro.core.tracker import VcpuScheduleTracker

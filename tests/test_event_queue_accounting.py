@@ -7,7 +7,6 @@ prune of cancelled entries must never change the observable pop order.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

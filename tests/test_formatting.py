@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.experiments.ablations import format_redirect_ablation
 from repro.experiments.coalescing import CoalescingPoint, format_coalescing
 from repro.experiments.fig4 import QuotaPoint, format_fig4

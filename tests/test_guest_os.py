@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.config import FeatureSet
 from repro.core.configs import paper_config
 from repro.errors import GuestCrash, GuestError
 from repro.experiments.testbed import Testbed, single_vcpu_testbed
@@ -13,7 +12,7 @@ from repro.guest.tasks import GuestTask, TaskBlock
 from repro.kvm.exits import ExitReason
 from repro.kvm.idt import RESCHEDULE_VECTOR
 from repro.net.packet import Packet
-from repro.units import MS, US, us
+from repro.units import MS, us
 
 
 class TestReschedIpi:

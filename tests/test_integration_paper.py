@@ -7,8 +7,6 @@ so regressions in any subsystem surface immediately.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.configs import paper_config
 from repro.experiments.runner import measure_window
 from repro.experiments.testbed import multiplexed_testbed, single_vcpu_testbed

@@ -7,11 +7,10 @@ import pytest
 from repro.config import FeatureSet
 from repro.guest.ops import GKick, GWork
 from repro.guest.os import GuestOS
-from repro.guest.tasks import CpuBurnTask, GuestTask, TaskBlock, TaskYield
+from repro.guest.tasks import CpuBurnTask, GuestTask
 from repro.hw.msi import DeliveryMode, MsiMessage
 from repro.kvm.exits import ExitReason
 from repro.kvm.hypervisor import Kvm
-from repro.kvm.idt import LOCAL_TIMER_VECTOR
 from repro.units import MS, SEC, US, us
 from tests.conftest import make_machine
 

@@ -1,0 +1,41 @@
+"""Tests for the plain-text table formatter (repro.metrics.report)."""
+
+from __future__ import annotations
+
+from repro.metrics.report import format_table
+
+
+def test_basic_layout_and_alignment():
+    out = format_table(
+        ("name", "gbps"),
+        [("Baseline", 0.879), ("PI", 1.163)],
+        title="Table I",
+    )
+    lines = out.splitlines()
+    assert lines[0] == "Table I"
+    assert lines[1].split() == ["name", "gbps"]
+    assert set(lines[2]) <= {"-", " "}
+    # All rows and rules share one width.
+    assert len({len(line) for line in lines[1:]}) == 1
+    assert lines[3].endswith("0.879")
+
+
+def test_no_title_omits_title_line():
+    out = format_table(("a",), [(1,)])
+    assert out.splitlines()[0].split() == ["a"]
+
+
+def test_column_width_tracks_widest_cell():
+    out = format_table(("x",), [("wider-than-header",)])
+    header, rule, row = out.splitlines()
+    assert len(rule) == len("wider-than-header")
+    assert row == "wider-than-header"
+
+
+def test_float_formatting_rules():
+    out = format_table(
+        ("v",),
+        [(0.0,), (0.5,), (12.34,), (1234.5,), (12,)],
+    )
+    cells = [line.strip() for line in out.splitlines()[2:]]
+    assert cells == ["0", "0.500", "12.3", "1,234", "12"]

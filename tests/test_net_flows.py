@@ -4,11 +4,10 @@ from __future__ import annotations
 
 import pytest
 
-from repro.config import FeatureSet
 from repro.core.configs import paper_config
 from repro.experiments.testbed import Testbed, single_vcpu_testbed
-from repro.net.packet import ACK_SIZE, ETHERNET_OVERHEAD, MSS, TCP_HEADER, Packet
-from repro.units import MS, SEC, US
+from repro.net.packet import MSS
+from repro.units import MS
 from repro.workloads.netperf import (
     NetperfTcpReceive,
     NetperfTcpSend,

@@ -1,0 +1,108 @@
+"""Tests for run-loop profiling (repro.obs.profile) and its zero-cost contract."""
+
+from __future__ import annotations
+
+from repro.core.configs import paper_config
+from repro.experiments.runner import measure_window
+from repro.experiments.testbed import single_vcpu_testbed
+from repro.obs import EventProfiler
+from repro.sim.simulator import Simulator
+from repro.units import MS, US
+from repro.workloads.netperf import NetperfUdpSend
+
+
+def _tick():
+    pass
+
+
+def _tock():
+    pass
+
+
+# ------------------------------------------------------------------ unit
+
+
+def test_profiler_aggregates_per_event_type():
+    prof = EventProfiler()
+    prof.record(_tick, wall_ns=100, sim_t=0)
+    prof.record(_tick, wall_ns=300, sim_t=50)
+    prof.record(_tock, wall_ns=1000, sim_t=60)
+    assert len(prof) == 2
+    assert prof.events == 3
+    assert prof.wall_total_ns == 1400
+    entries = prof.entries()
+    # Heaviest wall-time first.
+    assert entries[0].key == EventProfiler.key_for(_tock)
+    tick = entries[1]
+    assert tick.wall.count == 2
+    assert tick.wall.mean == 200.0
+    assert (tick.wall.min, tick.wall.max) == (100, 300)
+    # Sim-time inter-arrival gap needs two observations of the same type.
+    assert tick.sim_gap.count == 1
+    assert tick.sim_gap.mean == 50.0
+
+
+def test_profile_entry_as_dict_and_summary_top():
+    prof = EventProfiler()
+    for i in range(4):
+        prof.record(_tick, wall_ns=10 + i, sim_t=i * 5)
+    prof.record(_tock, wall_ns=100000, sim_t=100)
+    d = prof.summary(top=1)
+    assert list(d) == [EventProfiler.key_for(_tock)]
+    entry = d[EventProfiler.key_for(_tock)]
+    assert entry["count"] == 1
+    assert entry["wall_total_ns"] == 100000
+    assert entry["wall_p99_bound_ns"] >= 100000
+    assert all(k.startswith("<2^") for k in entry["wall_hist"])
+    prof.clear()
+    assert len(prof) == 0 and prof.events == 0
+
+
+def test_key_for_uses_qualname():
+    assert EventProfiler.key_for(_tick).endswith("_tick")
+
+    class Obj:
+        def method(self):
+            pass
+
+    assert "Obj.method" in EventProfiler.key_for(Obj().method)
+
+
+def test_simulator_profiling_lifecycle():
+    sim = Simulator(seed=0)
+    assert sim.obs.profiler is None
+    prof = sim.enable_profiling()
+    assert sim.obs.profiler is prof
+    assert sim.enable_profiling() is prof  # idempotent
+    for i in range(5):
+        sim.schedule(i * US, _tick)
+    sim.run_until_empty()
+    assert prof.events == 5
+    assert EventProfiler.key_for(_tick) in prof.summary()
+    sim.disable_profiling()
+    assert sim.obs.profiler is None
+
+
+# ------------------------------------- the zero-cost-when-disabled contract
+
+
+def _measured_fingerprint(profile: bool):
+    tb = single_vcpu_testbed(paper_config("PI", quota=4), seed=7)
+    if profile:
+        tb.sim.trace_bus()
+        tb.sim.enable_profiling()
+    wl = NetperfUdpSend(tb, tb.tested, n_streams=1, payload_size=512)
+    run = measure_window(tb, wl, 10 * MS, 30 * MS, config_name="PI")
+    return (
+        f"{run.throughput_gbps:.12f}",
+        f"{run.tig:.12f}",
+        run.exit_rates.as_dict(),
+        tb.sim.now,
+        tb.sim.events_fired,
+    )
+
+
+def test_observability_does_not_perturb_the_simulation():
+    # A fixed-seed run with full tracing + profiling enabled must produce
+    # byte-identical results to the plain run: observers, not participants.
+    assert _measured_fingerprint(profile=False) == _measured_fingerprint(profile=True)

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from hypothesis import settings
 from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
-from hypothesis import strategies as st
 
 from repro.virtio.ring import Virtqueue
 

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.sched.thread import Block, Consume, CpuMode, Thread, ThreadState, YieldCPU
 from repro.units import MS, SEC, US
 from tests.conftest import make_machine

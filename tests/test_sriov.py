@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.config import FeatureSet
 from repro.experiments.testbed import Testbed
 from repro.kvm.exits import ExitReason

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.configs import paper_config
 from repro.experiments.testbed import single_vcpu_testbed
 from repro.sim.simulator import Simulator

@@ -13,7 +13,7 @@ from repro.kvm.exits import ExitReason
 from repro.kvm.hypervisor import Kvm
 from repro.kvm.idt import LOCAL_TIMER_VECTOR
 from repro.sched.thread import ThreadState
-from repro.units import MS, SEC, US, us
+from repro.units import MS, SEC, us
 from tests.conftest import make_machine
 
 
