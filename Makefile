@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test lint bench-smoke bench determinism ci experiments
+.PHONY: test lint bench-smoke bench bench-compare trace-smoke determinism ci experiments
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -24,6 +24,18 @@ bench-smoke:
 # Machine-readable benchmark artifact: BENCH_<rev>.json.
 bench:
 	PYTHONPATH=src $(PYTHON) -m repro bench
+
+# Re-run the bench and diff it against the checked-in baseline (exit 1 on
+# a >25% throughput / >60% p99 regression — the CI gate thresholds).
+bench-compare:
+	REPRO_REV=current PYTHONPATH=src $(PYTHON) -m repro bench --no-profile
+	$(PYTHON) scripts/bench_compare.py BENCH_baseline.json BENCH_current.json \
+		--max-throughput-drop 25 --max-p99-increase 60
+
+# One spans-enabled ping run: stage attribution + Perfetto/JSONL exports.
+trace-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro trace ping --duration-ms 250 \
+		--perfetto path-trace-ping.perfetto.json --jsonl path-trace-ping.jsonl
 
 # Fixed-seed serial-vs-parallel sweep equivalence (exit 1 on divergence).
 determinism:

@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Diff two ``BENCH_<rev>.json`` reports and gate on perf regressions.
+
+Usage::
+
+    python scripts/bench_compare.py BASELINE.json CURRENT.json \
+        [--max-throughput-drop PCT] [--max-p99-increase PCT]
+
+Compares every throughput point (Gbps, lower is worse) and every ping
+latency point (p99 ms, higher is worse) shared by the two reports and
+exits non-zero when any metric regresses beyond the threshold (default
+10% either way).  Metrics present in only one report are listed but never
+gate — schema growth must not break the trajectory.  Stdlib only, so the
+gate runs anywhere the repo runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, Iterator, List, Tuple
+
+DEFAULT_MAX_DROP_PCT = 10.0
+DEFAULT_MAX_P99_INCREASE_PCT = 10.0
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    """Load one bench report, checking the schema name."""
+    with open(path, "r", encoding="utf-8") as fh:
+        report = json.load(fh)
+    schema = report.get("schema", {})
+    if schema.get("name") != "repro-bench":
+        raise SystemExit(f"{path}: not a repro-bench report (schema={schema!r})")
+    return report
+
+
+def _metrics(report: Dict[str, Any]) -> Iterator[Tuple[str, str, float]]:
+    """Yield ``(metric_id, direction, value)``; direction 'higher'/'lower'
+    is the *good* way for the value to move."""
+    for name, point in report.get("throughput", {}).items():
+        yield f"throughput[{name}].gbps", "higher", float(point["throughput_gbps"])
+    hybrid = report.get("hybrid", {})
+    for label in ("baseline", "quota8"):
+        if label in hybrid:
+            yield f"hybrid[{label}].gbps", "higher", float(hybrid[label]["throughput_gbps"])
+    for name, point in report.get("latency_ms", {}).items():
+        yield f"latency[{name}].p99_ms", "lower", float(point["p99_ms"])
+
+
+def compare(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    max_drop_pct: float = DEFAULT_MAX_DROP_PCT,
+    max_p99_increase_pct: float = DEFAULT_MAX_P99_INCREASE_PCT,
+) -> Tuple[List[str], List[str]]:
+    """Return ``(table_lines, regressions)`` for the two reports."""
+    base = {mid: (d, v) for mid, d, v in _metrics(baseline)}
+    cur = {mid: (d, v) for mid, d, v in _metrics(current)}
+    lines: List[str] = []
+    regressions: List[str] = []
+    width = max((len(m) for m in set(base) | set(cur)), default=10)
+    lines.append(f"{'metric':<{width}} {'baseline':>12} {'current':>12} {'delta':>9}")
+    for mid in sorted(set(base) | set(cur)):
+        if mid not in base:
+            lines.append(f"{mid:<{width}} {'-':>12} {cur[mid][1]:>12.4f}   (new; not gated)")
+            continue
+        if mid not in cur:
+            lines.append(f"{mid:<{width}} {base[mid][1]:>12.4f} {'-':>12}   (gone; not gated)")
+            continue
+        direction, bval = base[mid]
+        cval = cur[mid][1]
+        if bval == 0:
+            delta_pct = 0.0 if cval == 0 else float("inf")
+        else:
+            delta_pct = (cval - bval) / bval * 100.0
+        limit = max_drop_pct if direction == "higher" else max_p99_increase_pct
+        bad = (direction == "higher" and delta_pct < -limit) or (
+            direction == "lower" and delta_pct > limit
+        )
+        flag = "  REGRESSION" if bad else ""
+        lines.append(f"{mid:<{width}} {bval:>12.4f} {cval:>12.4f} {delta_pct:>+8.1f}%{flag}")
+        if bad:
+            regressions.append(
+                f"{mid}: {bval:.4f} -> {cval:.4f} ({delta_pct:+.1f}%, limit {limit:.0f}%)"
+            )
+    return lines, regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline BENCH_<rev>.json")
+    parser.add_argument("current", help="current BENCH_<rev>.json")
+    parser.add_argument("--max-throughput-drop", type=float, default=DEFAULT_MAX_DROP_PCT,
+                        metavar="PCT", help="allowed throughput drop in percent (default 10)")
+    parser.add_argument("--max-p99-increase", type=float, default=DEFAULT_MAX_P99_INCREASE_PCT,
+                        metavar="PCT", help="allowed p99 latency increase in percent (default 10)")
+    args = parser.parse_args(argv)
+
+    baseline = load_report(args.baseline)
+    current = load_report(args.current)
+    print(f"baseline: rev={baseline.get('revision')} (schema v{baseline['schema']['version']})")
+    print(f"current:  rev={current.get('revision')} (schema v{current['schema']['version']})")
+    lines, regressions = compare(
+        baseline, current,
+        max_drop_pct=args.max_throughput_drop,
+        max_p99_increase_pct=args.max_p99_increase,
+    )
+    print("\n".join(lines))
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond threshold:", file=sys.stderr)
+        for r in regressions:
+            print(f"  {r}", file=sys.stderr)
+        return 1
+    print("\nno regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

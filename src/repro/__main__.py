@@ -89,6 +89,13 @@ def build_parser() -> argparse.ArgumentParser:
         add_help=False,
     )
 
+    # `repro trace` likewise owns its arguments (repro.obs.tracecli).
+    p = sub.add_parser(
+        "trace",
+        help="record per-request event-path spans; print the stage attribution report",
+        add_help=False,
+    )
+
     return parser
 
 
@@ -100,6 +107,10 @@ def main(argv=None) -> int:
         from repro.obs.bench import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "trace":
+        from repro.obs.tracecli import main as trace_main
+
+        return trace_main(argv[1:])
     args = build_parser().parse_args(argv)
     warmup = args.warmup_ms * MS
     measure = args.measure_ms * MS

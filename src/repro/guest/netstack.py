@@ -54,6 +54,10 @@ class GuestNetstack:
         flow = self._flows.get(packet.flow)
         if flow is None:
             self.rx_dropped += 1
+            if packet.ctx is not None:
+                sp = self.sim.obs.spans
+                if sp is not None:
+                    sp.drop(self.sim.now, packet.ctx, "no_flow", flow=packet.flow)
             yield GWork(_DROP_NS)
             return
         yield from flow.guest_rx_ops(packet, context)

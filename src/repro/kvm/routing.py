@@ -71,6 +71,13 @@ class IrqRouter:
         if not 0 <= target_index < vm.n_vcpus:
             raise HypervisorError(f"{vm.name}: MSI destination vCPU {target_index} out of range")
         self.delivered += 1
+        sp = self.kvm.sim.obs.spans
+        if sp is not None:
+            sp.irq_mark(
+                self.kvm.sim.now, vm.vm_id, msg.vector, "irq_route",
+                redirected=(target_index != msg.dest_vcpu),
+                orig=msg.dest_vcpu, target=target_index,
+            )
         self.kvm.deliver_vcpu_interrupt(vm.vcpus[target_index], msg.vector)
 
     @staticmethod

@@ -190,6 +190,11 @@ class Vcpu(Thread):
         self.interrupts_handled += 1
         if self.sim.trace.enabled:
             self.sim.trace.record(self.sim.now, "irq-handled", vcpu=self.name, vector=vector)
+        sp = self.sim.obs.spans
+        if sp is not None:
+            # The gap since irq_route is the injection wait: TIG while the
+            # target vCPU was descheduled, plus the entry/IPI machinery.
+            sp.irq_mark(self.sim.now, self.vm.vm_id, vector, "irq_inject", vcpu=self.index)
         self.irqs_enabled = False
         yield from self._guest_consume(self.cost.guest_irq_entry_ns)
         yield from self._run_ops(self.guest_ctx.irq_handler_ops(vector))

@@ -41,3 +41,25 @@ class LatencySeries:
     def series_ms(self) -> List[float]:
         """All samples converted to milliseconds."""
         return [s / 1e6 for s in self.samples_ns]
+
+    # The paper's ping RTTs and per-stage path costs are µs-scale; the
+    # ms readouts above lose the precision stage attribution needs.
+    def mean_us(self) -> float:
+        """Mean latency in microseconds."""
+        if not self.samples_ns:
+            return 0.0
+        return sum(self.samples_ns) / len(self.samples_ns) / 1e3
+
+    def max_us(self) -> float:
+        """Maximum latency in microseconds."""
+        if not self.samples_ns:
+            return 0.0
+        return max(self.samples_ns) / 1e3
+
+    def percentile_us(self, p: float) -> float:
+        """Interpolated percentile of the series, in microseconds."""
+        return percentile_of_sorted(sorted(self.samples_ns), p) / 1e3
+
+    def series_us(self) -> List[float]:
+        """All samples converted to microseconds."""
+        return [s / 1e3 for s in self.samples_ns]

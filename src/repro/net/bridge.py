@@ -33,5 +33,10 @@ class HostBridge:
         device = self._devices.get(packet.dst)
         if device is None:
             self.unroutable += 1
+            if packet.ctx is not None:
+                sim = self.machine.sim
+                sp = sim.obs.spans
+                if sp is not None:
+                    sp.drop(sim.now, packet.ctx, "unroutable", dst=packet.dst)
             return
         device.enqueue_from_wire(packet)

@@ -37,6 +37,13 @@ class ExternalHost:
 
     def _on_rx(self, packet) -> None:
         handler = self._flow_handlers.get(packet.flow)
+        if packet.ctx is not None:
+            sp = self.sim.obs.spans
+            if sp is not None:
+                if handler is None:
+                    sp.drop(self.sim.now, packet.ctx, "unroutable", host=self.name)
+                else:
+                    sp.mark(self.sim.now, packet.ctx, "delivered", host=self.name)
         if handler is None:
             self.unroutable += 1
             return

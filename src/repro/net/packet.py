@@ -27,9 +27,14 @@ class Packet:
     bridges demultiplex on; ``acked`` carries cumulative-ACK information for
     the windowed TCP model; ``created`` timestamps the packet for latency
     measurement.
+
+    ``ctx`` is the observability trace-context id (repro.obs.spans): None
+    unless span recording sampled this packet, in which case every stage
+    along the event path marks its milestone against it.  It is carried,
+    never read, by the data path itself.
     """
 
-    __slots__ = ("pid", "flow", "kind", "size", "dst", "seq", "acked", "created", "meta")
+    __slots__ = ("pid", "flow", "kind", "size", "dst", "seq", "acked", "created", "meta", "ctx")
 
     def __init__(
         self,
@@ -41,6 +46,7 @@ class Packet:
         acked: int = 0,
         created: int = 0,
         meta: Optional[Any] = None,
+        ctx: Optional[int] = None,
     ):
         self.pid = next(_pkt_ids)
         self.flow = flow
@@ -51,6 +57,7 @@ class Packet:
         self.acked = acked
         self.created = created
         self.meta = meta
+        self.ctx = ctx
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Packet #{self.pid} {self.flow}/{self.kind} {self.size}B -> {self.dst}>"

@@ -43,11 +43,17 @@ class GuestPingResponder:
         yield GWork(_ICMP_NS)
         self.echoes += 1
         reply = Packet(
-            self.flow_id, "pong", _PING_SIZE, dst=self.src, seq=packet.seq, created=packet.created
+            self.flow_id, "pong", _PING_SIZE, dst=self.src, seq=packet.seq,
+            created=packet.created, ctx=packet.ctx,
         )
         ok = yield from self.netstack.xmit_nonblocking_ops(reply, _ICMP_NS)
         if not ok:
             self.replies_dropped += 1
+            if reply.ctx is not None:
+                sim = self.netstack.sim
+                sp = sim.obs.spans
+                if sp is not None:
+                    sp.drop(sim.now, reply.ctx, "tx_ring_full", flow=self.flow_id)
 
 
 class Pinger:
@@ -89,13 +95,19 @@ class Pinger:
     def _send_echo(self) -> None:
         if not self._running:
             return
+        sim = self.host.sim
+        ctx = None
+        sp = sim.obs.spans
+        if sp is not None:
+            ctx = sp.new_context(sim.now, "ping", flow=self.flow_id, seq=self.sent)
         pkt = Packet(
             self.flow_id,
             "ping",
             _PING_SIZE,
             dst=self.guest_addr,
             seq=self.sent,
-            created=self.host.sim.now,
+            created=sim.now,
+            ctx=ctx,
         )
         self.sent += 1
         self.host.send_now(pkt)

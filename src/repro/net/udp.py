@@ -46,15 +46,21 @@ class GuestUdpTxFlow:
             raise GuestError(f"flow {self.flow_id}: sender_ops without an attached task")
         cost = self.netstack.cost
         base_cost = cost.guest_udp_tx_ns + int(cost.guest_tx_per_byte_ns * self.wire_size)
-        rng = self.netstack.sim.rng.stream(f"tx:{self.flow_id}")
+        sim = self.netstack.sim
+        rng = sim.rng.stream(f"tx:{self.flow_id}")
         while True:
+            ctx = None
+            sp = sim.obs.spans
+            if sp is not None:
+                ctx = sp.new_context(sim.now, "udp-tx", flow=self.flow_id, seq=self.datagrams_sent)
             pkt = Packet(
                 self.flow_id,
                 "data",
                 self.wire_size,
                 dst=self.dst,
                 seq=self.datagrams_sent,
-                created=self.netstack.sim.now,
+                created=sim.now,
+                ctx=ctx,
             )
             yield from self.netstack.xmit_from_task_ops(
                 self.task, pkt, cost.jittered(base_cost, rng)
@@ -136,6 +142,11 @@ class GuestUdpRxFlow:
         yield GWork(cost.guest_napi_pkt_ns + int(cost.guest_rx_per_byte_ns * packet.size))
         self.datagrams += 1
         payload = max(0, packet.size - UDP_HEADER - ETHERNET_OVERHEAD)
+        if packet.ctx is not None:
+            sim = self.netstack.sim
+            sp = sim.obs.spans
+            if sp is not None:
+                sp.mark(sim.now, packet.ctx, "sock_deliver", flow=self.flow_id)
         if self.receiver is not None:
             self.receiver.enqueue_bytes(payload, context)
         else:
@@ -176,13 +187,19 @@ class ExternalUdpSource:
     def _tick(self) -> None:
         if not self._running:
             return
+        sim = self.host.sim
+        ctx = None
+        sp = sim.obs.spans
+        if sp is not None:
+            ctx = sp.new_context(sim.now, "udp-rx", flow=self.flow_id, seq=self.datagrams_sent)
         pkt = Packet(
             self.flow_id,
             "data",
             self.wire_size,
             dst=self.guest_addr,
             seq=self.datagrams_sent,
-            created=self.host.sim.now,
+            created=sim.now,
+            ctx=ctx,
         )
         self.host.send_now(pkt)
         self.datagrams_sent += 1

@@ -12,6 +12,11 @@ through per-module ad-hoc counters:
   call can snapshot or reset every counter in a simulation.
 * :class:`EventProfiler` — per-event-type wall-time and sim-time
   histograms for the simulator run loop.
+* :class:`SpanRecorder` / :mod:`repro.obs.spans` — causal per-request
+  trace contexts and milestone marks over the TraceBus, reconstructed
+  into critical-path trees (:func:`collect_traces`), aggregated by
+  :mod:`repro.obs.pathreport` and exported to Chrome/Perfetto JSON by
+  :mod:`repro.obs.export`.
 * :mod:`repro.obs.bench` — the machine-readable benchmark pipeline that
   turns all of the above into a schema-versioned ``BENCH_<rev>.json``
   (imported lazily: it pulls in the experiment layer).
@@ -27,7 +32,10 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.obs.counters import CounterRegistry
+from repro.obs.export import export_spans_jsonl, perfetto_trace, write_perfetto
+from repro.obs.pathreport import build_path_report, format_path_report
 from repro.obs.profile import EventProfiler, ProfileEntry
+from repro.obs.spans import PathTrace, SpanRecorder, collect_traces, completed
 from repro.obs.tracebus import KIND_CATEGORY, TRACE_CATEGORIES, TraceBus, TraceEvent
 
 __all__ = [
@@ -39,6 +47,15 @@ __all__ = [
     "TraceEvent",
     "TRACE_CATEGORIES",
     "KIND_CATEGORY",
+    "SpanRecorder",
+    "PathTrace",
+    "collect_traces",
+    "completed",
+    "build_path_report",
+    "format_path_report",
+    "perfetto_trace",
+    "write_perfetto",
+    "export_spans_jsonl",
 ]
 
 
@@ -52,3 +69,5 @@ class Observability:
     def __init__(self) -> None:
         self.counters = CounterRegistry()
         self.profiler: Optional[EventProfiler] = None
+        #: per-request span recorder; installed by ``Simulator.enable_spans``
+        self.spans: Optional[SpanRecorder] = None

@@ -9,7 +9,9 @@ observability layer* and emits a canonical, schema-versioned
 
 * throughput (Gbps) and TIG per configuration,
 * VM-exit rates, total and per paper category,
-* ping latency percentiles (p50/p99) under vCPU multiplexing,
+* ping latency percentiles (p50/p99) under vCPU multiplexing, with the
+  per-stage event-path attribution (:mod:`repro.obs.pathreport`) measured
+  on a spans-enabled run of the same point,
 * the full per-subsystem counter snapshot (:class:`~repro.obs.CounterRegistry`),
 * simulator wall-rate (events/second of host time) and the per-event-type
   profile (:class:`~repro.obs.EventProfiler`),
@@ -49,7 +51,8 @@ __all__ = [
 ]
 
 #: Bump on any backwards-incompatible change to the report layout.
-BENCH_SCHEMA_VERSION = 1
+#: v2: latency points gained ``path`` (stage attribution + cohorts).
+BENCH_SCHEMA_VERSION = 2
 
 #: Default windows — identical to ``tests/test_bench_smoke.py``.
 DEFAULT_WARMUP_NS = 20 * MS
@@ -123,18 +126,29 @@ def _hybrid_point(seed: int, warmup_ns: int, measure_ns: int) -> Dict[str, Any]:
 
 
 def _latency_point(name: str, seed: int, duration_ns: int) -> Dict[str, Any]:
-    """One Fig.-7-shaped ping point: RTT percentiles under multiplexing."""
+    """One Fig.-7-shaped ping point: RTT percentiles under multiplexing.
+
+    The run records per-request spans — an observers-only layer, so the
+    measured RTT series is identical to a spans-off run (asserted by the
+    test suite) — and folds the stage-by-stage attribution into the point.
+    """
+    from repro.obs.pathreport import build_path_report
+    from repro.obs.spans import collect_traces
+
     tb = multiplexed_testbed(paper_config(name, quota=4), seed=seed)
+    tb.sim.enable_spans()
     wl = PingWorkload(tb, tb.tested, interval_ns=5 * MS)
     wl.start()
     tb.run_for(duration_ns)
     series = LatencySeries(wl.pinger.rtts_ns)
+    path = build_path_report(collect_traces(tb.sim.trace).values())
     return {
         "samples": len(series),
         "mean_ms": series.mean_ms(),
         "p50_ms": series.percentile_ms(50),
         "p99_ms": series.percentile_ms(99),
         "max_ms": series.max_ms(),
+        "path": path,
     }
 
 
@@ -218,6 +232,11 @@ def format_bench(report: Dict[str, Any]) -> str:
             f"  ping {name:<8} p50={point['p50_ms']:.3f} ms  p99={point['p99_ms']:.3f} ms "
             f"({point['samples']} samples)"
         )
+        path = point.get("path")
+        if path and path["stages"]:
+            top = sorted(path["stages"].items(), key=lambda kv: kv[1]["share"], reverse=True)[:3]
+            shares = ", ".join(f"{s} {v['share']:.0%}" for s, v in top)
+            lines.append(f"           top stages: {shares}")
     lines.append(
         f"  simulator {report['events_per_sec_wall']:,.0f} events/s wall "
         f"({report['wall_seconds']:.1f} s total)"

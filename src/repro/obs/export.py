@@ -1,0 +1,219 @@
+"""Trace exporters: Chrome/Perfetto ``trace_event`` JSON and JSON Lines.
+
+:func:`perfetto_trace` converts reconstructed path traces (plus, when the
+bus retains them, the vCPU scheduling and vhost mode-switch records) into
+the Chrome trace-event format (the JSON-array flavour), loadable directly
+in ``ui.perfetto.dev`` or ``chrome://tracing``:
+
+* process "event path" — one track (tid) per traced request; a root
+  ``request/<kind>`` span with the stage spans nested inside it, stage
+  attributes in ``args``;
+* process "vCPU scheduling" — one track per (VM, vCPU) with its online
+  intervals (``sched-in`` → ``sched-out``) and instant markers for
+  redirected interrupt deliveries;
+* process "vhost" — instant markers for Algorithm 1's polling →
+  notification mode switches, one track per handler.
+
+Timestamps are microseconds (the trace-event unit) as floats, preserving
+the simulator's nanosecond resolution.
+"""
+
+from __future__ import annotations
+
+import json
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.obs.spans import PathTrace
+
+__all__ = ["perfetto_trace", "write_perfetto", "export_spans_jsonl"]
+
+#: Synthetic pid per exported "process" (track group).
+PID_PATH = 1
+PID_SCHED = 2
+PID_VHOST = 3
+
+
+def _meta(pid: int, name: str, tid: Optional[int] = None) -> Dict[str, Any]:
+    event: Dict[str, Any] = {
+        "ph": "M",
+        "pid": pid,
+        "name": "process_name" if tid is None else "thread_name",
+        "args": {"name": name},
+    }
+    if tid is not None:
+        event["tid"] = tid
+    return event
+
+
+def _us(t_ns: int) -> float:
+    return t_ns / 1e3
+
+
+def _path_events(traces: Iterable[PathTrace]) -> List[Dict[str, Any]]:
+    events: List[Dict[str, Any]] = [_meta(PID_PATH, "event path")]
+    for trace in sorted(traces, key=lambda t: t.ctx):
+        if not trace.marks:
+            continue
+        tid = trace.ctx
+        label = f"req {trace.ctx} ({trace.kind or 'truncated'})"
+        events.append(_meta(PID_PATH, label, tid=tid))
+        tree = trace.to_span_tree()
+        if len(trace.marks) >= 2:
+            events.append({
+                "name": tree["name"],
+                "cat": "span",
+                "ph": "X",
+                "ts": _us(tree["start"]),
+                "dur": _us(tree["end"] - tree["start"]),
+                "pid": PID_PATH,
+                "tid": tid,
+                "args": {
+                    "ctx": trace.ctx,
+                    "complete": trace.complete,
+                    "truncated": trace.truncated,
+                },
+            })
+        for child in tree["children"]:
+            events.append({
+                "name": child["name"],
+                "cat": "span",
+                "ph": "X",
+                "ts": _us(child["start"]),
+                "dur": _us(child["end"] - child["start"]),
+                "pid": PID_PATH,
+                "tid": tid,
+                "args": {"point": child["point"], **child["attrs"]},
+            })
+        if trace.dropped:
+            mark = trace.marks[-1]
+            events.append({
+                "name": f"dropped:{mark.attrs.get('reason', '?')}",
+                "cat": "span",
+                "ph": "i",
+                "s": "t",
+                "ts": _us(mark.t),
+                "pid": PID_PATH,
+                "tid": tid,
+                "args": dict(mark.attrs),
+            })
+    return events
+
+
+def _sched_events(bus) -> List[Dict[str, Any]]:
+    """Per-vCPU online spans + redirect instants from the retained ring."""
+    events: List[Dict[str, Any]] = []
+    tids: Dict[str, int] = {}
+
+    def tid_of(key: str) -> int:
+        if key not in tids:
+            tids[key] = len(tids) + 1
+            events.append(_meta(PID_SCHED, key, tid=tids[key]))
+        return tids[key]
+
+    open_since: Dict[str, int] = {}
+    last_t = 0
+    for e in bus.events:
+        last_t = max(last_t, e.t)
+        if e.kind not in ("sched-in", "sched-out", "irq-redirect"):
+            continue
+        if e.kind == "irq-redirect":
+            key = f"{e.fields.get('vm', '?')}/vcpu{e.fields.get('target', '?')}"
+            events.append({
+                "name": f"irq-redirect v{e.fields.get('vector', '?')}",
+                "cat": "redirect",
+                "ph": "i",
+                "s": "t",
+                "ts": _us(e.t),
+                "pid": PID_SCHED,
+                "tid": tid_of(key),
+                "args": dict(e.fields),
+            })
+            continue
+        key = f"{e.fields.get('vm', '?')}/vcpu{e.fields.get('vcpu', '?')}"
+        if e.kind == "sched-in":
+            open_since.setdefault(key, e.t)
+            continue
+        start = open_since.pop(key, None)
+        if start is not None:
+            events.append({
+                "name": "online",
+                "cat": "sched",
+                "ph": "X",
+                "ts": _us(start),
+                "dur": _us(e.t - start),
+                "pid": PID_SCHED,
+                "tid": tid_of(key),
+                "args": {},
+            })
+    # vCPUs still on a core when the window closed: emit the open interval.
+    for key, start in sorted(open_since.items()):
+        events.append({
+            "name": "online",
+            "cat": "sched",
+            "ph": "X",
+            "ts": _us(start),
+            "dur": _us(max(0, last_t - start)),
+            "pid": PID_SCHED,
+            "tid": tid_of(key),
+            "args": {"open": True},
+        })
+    if events:
+        events.insert(0, _meta(PID_SCHED, "vCPU scheduling"))
+    return events
+
+
+def _mode_switch_events(bus) -> List[Dict[str, Any]]:
+    events: List[Dict[str, Any]] = []
+    tids: Dict[str, int] = {}
+    for t, fields in bus.of_kind("mode-switch"):
+        handler = str(fields.get("handler", "?"))
+        if handler not in tids:
+            tids[handler] = len(tids) + 1
+            events.append(_meta(PID_VHOST, handler, tid=tids[handler]))
+        events.append({
+            "name": f"mode-switch:{fields.get('mode', '?')}",
+            "cat": "mode_switch",
+            "ph": "i",
+            "s": "t",
+            "ts": _us(t),
+            "pid": PID_VHOST,
+            "tid": tids[handler],
+            "args": dict(fields),
+        })
+    if events:
+        events.insert(0, _meta(PID_VHOST, "vhost"))
+    return events
+
+
+def perfetto_trace(traces: Iterable[PathTrace], bus=None) -> Dict[str, Any]:
+    """Build the Chrome ``trace_event`` document (JSON-object flavour)."""
+    events = _path_events(traces)
+    if bus is not None:
+        events.extend(_sched_events(bus))
+        events.extend(_mode_switch_events(bus))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {"generator": "repro.obs.export (ES2 reproduction)"},
+    }
+
+
+def write_perfetto(traces: Iterable[PathTrace], path: str, bus=None) -> Dict[str, Any]:
+    """Serialize :func:`perfetto_trace` to ``path``; returns the document."""
+    doc = perfetto_trace(traces, bus=bus)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True, allow_nan=False)
+        fh.write("\n")
+    return doc
+
+
+def export_spans_jsonl(traces: Iterable[PathTrace], path: str) -> int:
+    """One JSON line per request span tree (for scripting); returns count."""
+    n = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for trace in sorted(traces, key=lambda t: t.ctx):
+            fh.write(json.dumps(trace.to_span_tree(), sort_keys=True, allow_nan=False))
+            fh.write("\n")
+            n += 1
+    return n

@@ -1,0 +1,144 @@
+"""Stage-by-stage latency attribution over reconstructed path traces.
+
+Turns the per-request :class:`~repro.obs.spans.PathTrace` trees into the
+breakdown the paper's Figures 4-6 argue from: p50/p99/mean per stage (in
+microseconds — the paper's ping RTTs and stage costs are µs-scale), each
+stage's share of the end-to-end latency, and the two cohorts ES2's design
+decisions split requests into — backend service mode (notification vs.
+polling, Algorithm 1) and interrupt redirection (redirected vs. kept
+affinity, Section IV-C).
+
+Only *complete* traces (full ``origin → delivered`` paths) enter the
+stage statistics; orphaned, dropped and ring-truncated traces are counted
+separately so a lossy run degrades explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List
+
+from repro.obs.spans import PathTrace, STAGE_OF_POINT
+
+__all__ = ["build_path_report", "format_path_report"]
+
+
+def _percentile(sorted_ns: List[int], p: float) -> float:
+    """Interpolated percentile of a pre-sorted ns series (as float ns)."""
+    if not sorted_ns:
+        return 0.0
+    if len(sorted_ns) == 1:
+        return float(sorted_ns[0])
+    rank = (p / 100.0) * (len(sorted_ns) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(sorted_ns) - 1)
+    frac = rank - lo
+    return sorted_ns[lo] * (1.0 - frac) + sorted_ns[hi] * frac
+
+
+def _series_stats(samples_ns: List[int]) -> Dict[str, Any]:
+    ordered = sorted(samples_ns)
+    total = sum(ordered)
+    return {
+        "count": len(ordered),
+        "mean_us": (total / len(ordered)) / 1e3 if ordered else 0.0,
+        "p50_us": _percentile(ordered, 50) / 1e3,
+        "p99_us": _percentile(ordered, 99) / 1e3,
+        "max_us": (ordered[-1] / 1e3) if ordered else 0.0,
+        "total_ns": total,
+    }
+
+
+def build_path_report(traces: Iterable[PathTrace]) -> Dict[str, Any]:
+    """Aggregate traces into the stage-attribution report (plain dict).
+
+    Layout::
+
+        counts:   {total, complete, orphaned, dropped, truncated}
+        rtt:      stats over complete end-to-end latencies
+        stages:   {stage: {count, mean_us, p50_us, p99_us, max_us, share}}
+        cohorts:  {tx_mode: {...}, redirected: {...}} — per cohort value:
+                  {count, p50_us, p99_us} over complete-trace RTTs
+    """
+    traces = list(traces)
+    complete = [t for t in traces if t.complete]
+    counts = {
+        "total": len(traces),
+        "complete": len(complete),
+        "orphaned": sum(1 for t in traces if t.orphaned),
+        "dropped": sum(1 for t in traces if t.dropped),
+        "truncated": sum(1 for t in traces if t.truncated),
+    }
+
+    stage_samples: Dict[str, List[int]] = {}
+    for trace in complete:
+        for stage in trace.stages():
+            stage_samples.setdefault(stage.name, []).append(stage.duration)
+    rtts = [t.total_ns for t in complete]
+    rtt_total = sum(rtts)
+
+    stages: Dict[str, Dict[str, Any]] = {}
+    order = {name: i for i, name in enumerate(STAGE_OF_POINT.values())}
+    for name in sorted(stage_samples, key=lambda n: (order.get(n, len(order)), n)):
+        stats = _series_stats(stage_samples[name])
+        stats["share"] = (stats.pop("total_ns") / rtt_total) if rtt_total > 0 else 0.0
+        stages[name] = stats
+
+    def _cohort(key_fn) -> Dict[str, Dict[str, Any]]:
+        groups: Dict[str, List[int]] = {}
+        for trace in complete:
+            key = key_fn(trace)
+            if key is None:
+                continue
+            groups.setdefault(str(key), []).append(trace.total_ns)
+        out: Dict[str, Dict[str, Any]] = {}
+        for key in sorted(groups):
+            stats = _series_stats(groups[key])
+            stats.pop("total_ns")
+            stats.pop("max_us")
+            stats.pop("mean_us")
+            out[key] = stats
+        return out
+
+    rtt_stats = _series_stats(rtts)
+    rtt_stats.pop("total_ns")
+    return {
+        "counts": counts,
+        "rtt": rtt_stats,
+        "stages": stages,
+        "cohorts": {
+            "tx_mode": _cohort(lambda t: t.tx_mode),
+            "redirected": _cohort(lambda t: t.redirected if t.has_point("irq_route") else None),
+        },
+    }
+
+
+def format_path_report(report: Dict[str, Any], title: str = "Event-path attribution") -> str:
+    """Render the report as a paper-style text table."""
+    c = report["counts"]
+    rtt = report["rtt"]
+    lines = [
+        title,
+        f"  requests: {c['complete']}/{c['total']} complete "
+        f"({c['orphaned']} orphaned, {c['dropped']} dropped, {c['truncated']} truncated)",
+        f"  end-to-end: p50={rtt['p50_us']:.1f} us  p99={rtt['p99_us']:.1f} us  "
+        f"mean={rtt['mean_us']:.1f} us",
+        "",
+        f"  {'stage':<20} {'count':>6} {'p50 (us)':>10} {'p99 (us)':>10} "
+        f"{'mean (us)':>10} {'share':>7}",
+    ]
+    for name, s in report["stages"].items():
+        lines.append(
+            f"  {name:<20} {s['count']:>6} {s['p50_us']:>10.1f} {s['p99_us']:>10.1f} "
+            f"{s['mean_us']:>10.1f} {s['share']:>6.1%}"
+        )
+    for cohort, groups in report["cohorts"].items():
+        if not groups:
+            continue
+        lines.append("")
+        lines.append(f"  cohort: {cohort}")
+        for key, s in groups.items():
+            lines.append(
+                f"    {key:<18} {s['count']:>6} requests  "
+                f"p50={s['p50_us']:.1f} us  p99={s['p99_us']:.1f} us"
+            )
+    return "\n".join(lines)

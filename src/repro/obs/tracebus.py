@@ -17,13 +17,29 @@ mode_switch ``mode-switch``
 redirect   ``irq-redirect``
 sched      ``sched-in``, ``sched-out``
 net        ``net-tx``, ``net-rx``
+span       ``span-mark`` (per-request path milestones, repro.obs.spans)
 ========== =====================================================
 
 Kinds not in :data:`KIND_CATEGORY` fall into the ``other`` category, so
 ad-hoc debugging records are never silently rejected by default.
+
+Ring-eviction semantics
+-----------------------
+The ring is bounded and **evicts oldest-first**: once ``capacity``
+records are retained, accepting a new record silently discards the
+oldest one (counted in :attr:`TraceBus.evicted`) — recent history
+survives arbitrarily long runs, but anything that reconstructs *linked*
+records from the ring must expect holes at the old end.  In particular,
+per-request span reconstruction (:func:`repro.obs.spans.collect_traces`)
+can find a request whose early milestones were evicted; such traces are
+flagged ``truncated`` and reported separately instead of silently
+yielding a shortened path.  Size ``capacity`` for the window you intend
+to attribute, or filter the bus down to the categories you need.
 """
 
 from __future__ import annotations
+
+import json
 
 from collections import deque
 from typing import Any, Deque, Dict, Iterable, List, NamedTuple, Optional, Tuple
@@ -31,7 +47,7 @@ from typing import Any, Deque, Dict, Iterable, List, NamedTuple, Optional, Tuple
 __all__ = ["TraceEvent", "TraceBus", "TRACE_CATEGORIES", "KIND_CATEGORY"]
 
 #: The trace categories, one per instrumented subsystem.
-TRACE_CATEGORIES = ("exit", "irq", "mode_switch", "redirect", "sched", "net", "other")
+TRACE_CATEGORIES = ("exit", "irq", "mode_switch", "redirect", "sched", "net", "span", "other")
 
 #: Record kind -> category (unknown kinds map to ``other``).
 KIND_CATEGORY: Dict[str, str] = {
@@ -44,6 +60,7 @@ KIND_CATEGORY: Dict[str, str] = {
     "sched-out": "sched",
     "net-tx": "net",
     "net-rx": "net",
+    "span-mark": "span",
 }
 
 
@@ -138,6 +155,33 @@ class TraceBus:
         for e in self._ring:
             out[e.kind] = out.get(e.kind, 0) + 1
         return out
+
+    def counts_by_category(self) -> Dict[str, int]:
+        """Retained record counts per category."""
+        out: Dict[str, int] = {}
+        for e in self._ring:
+            out[e.category] = out.get(e.category, 0) + 1
+        return out
+
+    # ----------------------------------------------------------------- export
+    def export_jsonl(self, path: str) -> int:
+        """Write the retained records (oldest first) as JSON Lines.
+
+        One object per line: ``{"t", "category", "kind", "fields"}``.
+        Only the retained window is exported — evicted records are gone
+        (see the module docstring); the returned count is the number of
+        lines written.
+        """
+        n = 0
+        with open(path, "w", encoding="utf-8") as fh:
+            for e in self._ring:
+                fh.write(json.dumps(
+                    {"t": e.t, "category": e.category, "kind": e.kind, "fields": e.fields},
+                    sort_keys=True, allow_nan=False,
+                ))
+                fh.write("\n")
+                n += 1
+        return n
 
     def clear(self) -> None:
         """Drop all retained records and reset the bookkeeping counters."""

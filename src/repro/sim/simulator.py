@@ -6,7 +6,7 @@ from time import perf_counter_ns
 from typing import Any, Callable, Iterable, Optional
 
 from repro.errors import SimulationError
-from repro.obs import EventProfiler, Observability, TraceBus
+from repro.obs import EventProfiler, Observability, SpanRecorder, TraceBus
 from repro.sim.event import Event, EventQueue
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import NullTracer, TraceRecorder
@@ -55,6 +55,30 @@ class Simulator:
         """Install (and return) a :class:`~repro.obs.TraceBus` as the tracer."""
         self.trace = TraceBus(categories=categories, kinds=kinds, capacity=capacity)
         return self.trace
+
+    def enable_spans(
+        self,
+        sample_every: int = 1,
+        capacity: int = 262144,
+        categories: Optional[Iterable[str]] = None,
+    ) -> SpanRecorder:
+        """Install per-request event-path span recording (``sim.obs.spans``).
+
+        Installs a :class:`~repro.obs.TraceBus` as the tracer if one is not
+        already installed (an existing bus is kept, filters and all, so
+        callers can combine spans with their own category selection).  The
+        recorder is an observer only: fixed-seed results are byte-identical
+        with spans enabled or disabled.
+        """
+        if not isinstance(self.trace, TraceBus):
+            self.trace = TraceBus(categories=categories, capacity=capacity)
+        if self.obs.spans is None:
+            self.obs.spans = SpanRecorder(self.trace, sample_every=sample_every)
+        return self.obs.spans
+
+    def disable_spans(self) -> None:
+        """Stop span recording (retained marks stay on the trace bus)."""
+        self.obs.spans = None
 
     def enable_profiling(self) -> EventProfiler:
         """Install per-event-type wall/sim-time profiling on the run loop."""

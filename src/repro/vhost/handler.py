@@ -91,6 +91,11 @@ class StockTxHandler(QueueHandler):
                     return
                 q.suppress_notify()
                 continue
+            if pkt.ctx is not None:
+                sim = worker.sim
+                sp = sim.obs.spans
+                if sp is not None:
+                    sp.mark(sim.now, pkt.ctx, "vhost_tx_pop", handler=self.name, mode="notification")
             yield Consume(self._tx_cost(pkt), CpuMode.KERNEL)
             self.packets += 1
             self.bytes += pkt.size
@@ -168,8 +173,24 @@ class RxHandler(QueueHandler):
                 self.ring_stalls += 1
                 break
             pkt = device.backlog.popleft()
+            if pkt.ctx is not None:
+                sim = worker.sim
+                sp = sim.obs.spans
+                if sp is not None:
+                    sp.mark(sim.now, pkt.ctx, "vhost_rx_pop", handler=self.name)
             yield Consume(self._rx_cost(pkt), CpuMode.KERNEL)
             rxq.push(pkt)
+            if pkt.ctx is not None:
+                sim = worker.sim
+                sp = sim.obs.spans
+                if sp is not None:
+                    sp.mark(sim.now, pkt.ctx, "rx_ring_push", handler=self.name)
+                    if device.driver is not None:
+                        # The packet now waits for the RX interrupt sub-path
+                        # (irqfd -> route -> inject), which is not
+                        # packet-granular; register as a waiter so each irq
+                        # milestone is marked against this request too.
+                        sp.irq_wait(pkt.ctx, device.vm.vm_id, device.driver.vector)
             processed += 1
             self.packets += 1
             self.bytes += pkt.size

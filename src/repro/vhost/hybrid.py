@@ -58,6 +58,9 @@ class HybridTxHandler(StockTxHandler):
         """Service the queue for one round (generator; consumes worker CPU)."""
         q = self.queue
         self.rounds += 1
+        # Entering with notifications already suppressed means the handler
+        # stayed in polling mode across rounds: service is exit-free.
+        service_mode = "polling" if q.notify_suppressed else "notification"
         if not q.notify_suppressed:
             # Algorithm 1 lines 8-10: enter polling mode.
             q.suppress_notify()
@@ -66,6 +69,11 @@ class HybridTxHandler(StockTxHandler):
             pkt = q.pop()
             if pkt is None:
                 break
+            if pkt.ctx is not None:
+                sim = worker.sim
+                sp = sim.obs.spans
+                if sp is not None:
+                    sp.mark(sim.now, pkt.ctx, "vhost_tx_pop", handler=self.name, mode=service_mode)
             yield Consume(self._tx_cost(pkt), CpuMode.KERNEL)
             self.packets += 1
             self.bytes += pkt.size

@@ -61,16 +61,28 @@ class VirtioNetDevice:
         sim = self.machine.sim
         if sim.trace.enabled:
             sim.trace.record(sim.now, "net-tx", device=self.name, size=packet.size)
+        if packet.ctx is not None:
+            sp = sim.obs.spans
+            if sp is not None:
+                sp.mark(sim.now, packet.ctx, "wire_tx", device=self.name)
         self.machine.nic.send(packet)
 
     def enqueue_from_wire(self, packet) -> None:
         """A packet for this VM arrived at the host NIC (tap ingress)."""
+        sim = self.machine.sim
         if len(self.backlog) >= self.backlog_capacity:
             self.backlog_drops += 1
+            if packet.ctx is not None:
+                sp = sim.obs.spans
+                if sp is not None:
+                    sp.drop(sim.now, packet.ctx, "backlog_full", device=self.name)
             return
-        sim = self.machine.sim
         if sim.trace.enabled:
             sim.trace.record(sim.now, "net-rx", device=self.name, size=packet.size)
+        if packet.ctx is not None:
+            sp = sim.obs.spans
+            if sp is not None:
+                sp.mark(sim.now, packet.ctx, "tap_ingress", device=self.name)
         self.backlog.append(packet)
         if self.vhost is not None:
             self.vhost.rx_handler.on_wire_traffic()
@@ -78,7 +90,14 @@ class VirtioNetDevice:
     # ------------------------------------------------------------ guest side
     def raise_rx_interrupt(self) -> None:
         """Signal the guest that used buffers were added to the RX ring."""
-        if not self.rxq.guest_wants_interrupt():
+        raised = self.rxq.guest_wants_interrupt()
+        sp = self.machine.sim.obs.spans
+        if sp is not None and self.driver is not None:
+            sp.irq_mark(
+                self.machine.sim.now, self.vm.vm_id, self.driver.vector,
+                "irq_signal", raised=raised,
+            )
+        if not raised:
             self.rx_interrupts_suppressed += 1
             return
         if self.msi_route is None:

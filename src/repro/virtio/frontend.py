@@ -68,6 +68,11 @@ class VirtioNetDriver:
         if self.device.txq.is_full:
             return False
         self.device.txq.push(packet)
+        if packet.ctx is not None:
+            sim = self.vm.machine.sim
+            sp = sim.obs.spans
+            if sp is not None:
+                sp.mark(sim.now, packet.ctx, "guest_tx", device=self.device.name)
         yield GKick(self.device.txq)
         return True
 
@@ -95,6 +100,12 @@ class VirtioNetDriver:
                 break
             processed += 1
             self.rx_packets += 1
+            if pkt.ctx is not None:
+                sim = self.vm.machine.sim
+                sp = sim.obs.spans
+                if sp is not None:
+                    sp.mark(sim.now, pkt.ctx, "guest_rx", vcpu=context.vcpu.index)
+                    sp.irq_unwait(pkt.ctx, self.vm.vm_id, self.vector)
             if self.rx_sink is not None:
                 yield from self.rx_sink(pkt, context)
             else:

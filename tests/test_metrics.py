@@ -108,6 +108,21 @@ class TestLatencySeries:
         assert s.mean_ms() == 0.0
         assert s.max_ms() == 0.0
 
+    def test_us_readouts(self):
+        # µs precision: 32.8 µs is 0.0328 ms — the ms readouts round it away.
+        s = LatencySeries([32_800, 41_400, 35_900])
+        assert s.mean_us() == pytest.approx((32.8 + 41.4 + 35.9) / 3)
+        assert s.max_us() == pytest.approx(41.4)
+        assert s.percentile_us(50) == pytest.approx(35.9)
+        assert s.series_us() == pytest.approx([32.8, 41.4, 35.9])
+        assert s.percentile_us(50) == pytest.approx(s.percentile_ms(50) * 1e3)
+
+    def test_us_empty(self):
+        s = LatencySeries()
+        assert s.mean_us() == 0.0
+        assert s.max_us() == 0.0
+        assert s.series_us() == []
+
 
 class TestReport:
     def test_format_table_alignment(self):

@@ -80,6 +80,31 @@ def test_invalid_arguments_rejected():
         TraceBus(capacity=0)
 
 
+def test_counts_by_category():
+    bus = TraceBus()
+    bus.record(1, "net-tx")
+    bus.record(2, "net-rx")
+    bus.record(3, "vm-exit")
+    bus.record(4, "span-mark", ctx=1, point="origin")
+    assert bus.counts_by_category() == {"net": 2, "exit": 1, "span": 1}
+    assert TraceBus().counts_by_category() == {}
+
+
+def test_export_jsonl_round_trips(tmp_path):
+    import json
+
+    bus = TraceBus(capacity=3)
+    for t in range(5):
+        bus.record(t, "net-tx", seq=t)
+    path = tmp_path / "trace.jsonl"
+    n = bus.export_jsonl(str(path))
+    # Only the retained ring window is exported, oldest first.
+    assert n == 3
+    rows = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [r["t"] for r in rows] == [2, 3, 4]
+    assert rows[0] == {"t": 2, "category": "net", "kind": "net-tx", "fields": {"seq": 2}}
+
+
 # ----------------------------------------------------------- integration
 
 
