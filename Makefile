@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test lint bench-smoke bench bench-compare trace-smoke determinism ci experiments
+.PHONY: test lint bench-smoke bench bench-compare profile trace-smoke determinism ci experiments
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -31,6 +31,11 @@ bench-compare:
 	REPRO_REV=current PYTHONPATH=src $(PYTHON) -m repro bench --no-profile
 	$(PYTHON) scripts/bench_compare.py BENCH_baseline.json BENCH_current.json \
 		--max-throughput-drop 25 --max-p99-increase 60
+
+# Where the run loop spends its time: the bench with the per-event-type
+# profile printed (heaviest wall time first).  Start perf work here.
+profile:
+	PYTHONPATH=src $(PYTHON) -m repro bench --profile-top 15
 
 # One spans-enabled ping run: stage attribution + Perfetto/JSONL exports.
 trace-smoke:

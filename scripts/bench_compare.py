@@ -4,7 +4,8 @@
 Usage::
 
     python scripts/bench_compare.py BASELINE.json CURRENT.json \
-        [--max-throughput-drop PCT] [--max-p99-increase PCT]
+        [--max-throughput-drop PCT] [--max-p99-increase PCT] \
+        [--gate-events-rate RATIO]
 
 Compares every throughput point (Gbps, lower is worse) and every ping
 latency point (p99 ms, higher is worse) shared by the two reports and
@@ -12,6 +13,12 @@ exits non-zero when any metric regresses beyond the threshold (default
 10% either way).  Metrics present in only one report are listed but never
 gate — schema growth must not break the trajectory.  Stdlib only, so the
 gate runs anywhere the repo runs.
+
+``--gate-events-rate`` additionally gates on the run-loop rate
+(``events_per_sec_wall``): the current report must reach at least RATIO
+times the baseline's rate.  It is opt-in because wall-clock rates are
+machine-dependent — CI uses it only as a non-blocking annotation; the
+hard gate stays on the simulated metrics above.
 """
 
 from __future__ import annotations
@@ -95,6 +102,9 @@ def main(argv=None) -> int:
                         metavar="PCT", help="allowed throughput drop in percent (default 10)")
     parser.add_argument("--max-p99-increase", type=float, default=DEFAULT_MAX_P99_INCREASE_PCT,
                         metavar="PCT", help="allowed p99 latency increase in percent (default 10)")
+    parser.add_argument("--gate-events-rate", type=float, default=None, metavar="RATIO",
+                        help="require current events_per_sec_wall >= RATIO * baseline's "
+                             "(opt-in; machine-dependent, keep out of hard CI gates)")
     args = parser.parse_args(argv)
 
     baseline = load_report(args.baseline)
@@ -107,6 +117,20 @@ def main(argv=None) -> int:
         max_p99_increase_pct=args.max_p99_increase,
     )
     print("\n".join(lines))
+    if args.gate_events_rate is not None:
+        base_rate = float(baseline.get("events_per_sec_wall", 0.0))
+        cur_rate = float(current.get("events_per_sec_wall", 0.0))
+        if base_rate <= 0:
+            print("events_per_sec_wall: baseline has no rate; events gate skipped")
+        else:
+            ratio = cur_rate / base_rate
+            print(f"events_per_sec_wall: {base_rate:,.0f} -> {cur_rate:,.0f} "
+                  f"({ratio:.2f}x, required >= {args.gate_events_rate:.2f}x)")
+            if ratio < args.gate_events_rate:
+                regressions.append(
+                    f"events_per_sec_wall: {cur_rate:,.0f} is {ratio:.2f}x baseline "
+                    f"(required >= {args.gate_events_rate:.2f}x)"
+                )
     if regressions:
         print(f"\n{len(regressions)} regression(s) beyond threshold:", file=sys.stderr)
         for r in regressions:

@@ -1,11 +1,13 @@
 #!/usr/bin/env python
-"""CI determinism guard: serial and parallel sweeps must agree exactly.
+"""CI determinism guard: serial, parallel, and wheel-backend runs must agree.
 
-Runs one fixed-seed Fig.-4 point set twice — serially and with
-``--jobs 2`` — serializes both result lists to canonical JSON, and fails
-(exit 1) if they differ by a single byte.  This is the executable form of
-the determinism contract in ``repro.parallel.sweep``: worker scheduling
-must never influence results.
+Runs one fixed-seed Fig.-4 point set three ways — serially, with
+``--jobs 2``, and serially under the timing-wheel event-queue backend
+(``REPRO_QUEUE_BACKEND=wheel``) — serializes each result list to canonical
+JSON, and fails (exit 1) if any pair differs by a single byte.  This is
+the executable form of two contracts: worker scheduling must never
+influence results (``repro.parallel.sweep``), and both event-queue
+backends must produce the exact same firing order (``repro.sim.wheel``).
 """
 
 from __future__ import annotations
@@ -30,20 +32,37 @@ def _canonical_json(points) -> str:
     return json.dumps([dataclasses.asdict(p) for p in points], sort_keys=True, indent=1)
 
 
+def _diff(label_a: str, a: str, label_b: str, b: str) -> None:
+    print(f"DETERMINISM GUARD FAILED: {label_a} and {label_b} results differ",
+          file=sys.stderr)
+    for i, (la, lb) in enumerate(zip(a.splitlines(), b.splitlines())):
+        if la != lb:
+            print(f"  line {i}: {label_a:<8} {la}", file=sys.stderr)
+            print(f"  line {i}: {label_b:<8} {lb}", file=sys.stderr)
+
+
 def main() -> int:
     kwargs = dict(quotas=QUOTAS, seed=SEED, warmup_ns=WARMUP_NS,
                   measure_ns=MEASURE_NS, cache=False)
     serial = _canonical_json(run_fig4("udp", jobs=1, **kwargs))
     parallel = _canonical_json(run_fig4("udp", jobs=2, **kwargs))
     if serial != parallel:
-        print("DETERMINISM GUARD FAILED: serial and --jobs 2 results differ", file=sys.stderr)
-        for i, (a, b) in enumerate(zip(serial.splitlines(), parallel.splitlines())):
-            if a != b:
-                print(f"  line {i}: serial   {a}", file=sys.stderr)
-                print(f"  line {i}: parallel {b}", file=sys.stderr)
+        _diff("serial", serial, "parallel", parallel)
+        return 1
+    prev_backend = os.environ.get("REPRO_QUEUE_BACKEND")
+    os.environ["REPRO_QUEUE_BACKEND"] = "wheel"
+    try:
+        wheel = _canonical_json(run_fig4("udp", jobs=1, **kwargs))
+    finally:
+        if prev_backend is None:
+            del os.environ["REPRO_QUEUE_BACKEND"]
+        else:
+            os.environ["REPRO_QUEUE_BACKEND"] = prev_backend
+    if serial != wheel:
+        _diff("heap", serial, "wheel", wheel)
         return 1
     print(f"determinism guard OK: fig4 udp seed={SEED} quotas={QUOTAS} "
-          "identical under jobs=1 and jobs=2")
+          "identical under jobs=1, jobs=2, and the wheel queue backend")
     return 0
 
 

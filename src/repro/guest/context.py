@@ -58,6 +58,9 @@ class GuestCpuContext:
     def _pick(self) -> Optional[GuestTask]:
         if not self.runqueue:
             return None
+        if len(self.runqueue) == 1:
+            # One runnable task trivially has the best nice value.
+            return self.runqueue.popleft()
         best_nice = min(t.nice for t in self.runqueue)
         for _ in range(len(self.runqueue)):
             task = self.runqueue.popleft()
@@ -85,13 +88,14 @@ class GuestCpuContext:
             if item is None:  # finished
                 self.current = None
                 continue
-            if isinstance(item, (GWork, GKick)):
+            cls = type(item)
+            if cls is GWork or cls is GKick:
                 return item
-            if isinstance(item, TaskYield):
+            if cls is TaskYield:
                 self.current = None
                 self.runqueue.append(task)
                 continue
-            if isinstance(item, TaskBlock):
+            if cls is TaskBlock:
                 self.current = None
                 if task._wake_pending:
                     task._wake_pending = False

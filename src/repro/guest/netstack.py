@@ -35,6 +35,10 @@ class GuestNetstack:
         driver.rx_sink = self._rx_ops
         driver.device.txq.space_callback = self._on_tx_space
         self._flows: Dict[str, object] = {}
+        #: flow id -> pre-bound ``guest_rx_ops`` — the RX dispatch below runs
+        #: once per packet, so the bound method is looked up at registration
+        #: instead of per delivery
+        self._rx_handlers: Dict[str, object] = {}
         self._tx_space_waiters: List[GuestTask] = []
         self.rx_dropped = 0
 
@@ -44,6 +48,9 @@ class GuestNetstack:
         if flow_id in self._flows:
             raise GuestError(f"flow {flow_id} already registered")
         self._flows[flow_id] = flow
+        handler = getattr(flow, "guest_rx_ops", None)
+        if handler is not None:
+            self._rx_handlers[flow_id] = handler
 
     def flow(self, flow_id: str):
         """Look up a registered flow by id."""
@@ -51,16 +58,22 @@ class GuestNetstack:
 
     # ------------------------------------------------------------ RX dispatch
     def _rx_ops(self, packet, context):
-        flow = self._flows.get(packet.flow)
-        if flow is None:
-            self.rx_dropped += 1
-            if packet.ctx is not None:
-                sp = self.sim.obs.spans
-                if sp is not None:
-                    sp.drop(self.sim.now, packet.ctx, "no_flow", flow=packet.flow)
-            yield GWork(_DROP_NS)
+        handler = self._rx_handlers.get(packet.flow)
+        if handler is None:
+            flow = self._flows.get(packet.flow)
+            if flow is None:
+                self.rx_dropped += 1
+                if packet.ctx is not None:
+                    sp = self.sim.obs.spans
+                    if sp is not None:
+                        sp.drop(self.sim.now, packet.ctx, "no_flow", flow=packet.flow)
+                yield GWork(_DROP_NS)
+                return
+            # A flow registered without guest_rx_ops fails here, exactly as
+            # the unbound dispatch used to.
+            yield from flow.guest_rx_ops(packet, context)
             return
-        yield from flow.guest_rx_ops(packet, context)
+        yield from handler(packet, context)
 
     # ------------------------------------------------------------- TX helpers
     def xmit_from_task_ops(self, task: GuestTask, packet, tx_cost_ns: int):

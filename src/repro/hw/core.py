@@ -50,6 +50,10 @@ class Core:
         #: cumulative core time per accounting mode
         self.mode_time = {mode: 0 for mode in CpuMode}
         self.ctx_switches = 0
+        # Pre-bound once: these are scheduled on every non-fused segment and
+        # every context switch, and rebinding the method per call allocates.
+        self._on_segment_complete_cb = self._on_segment_complete
+        self._complete_switch_cb = self._complete_switch
 
     # ------------------------------------------------------------ inspection
     @property
@@ -102,7 +106,7 @@ class Core:
         cost = self.machine.cost.ctx_switch_ns
         self.ctx_switches += 1
         self.mode_time[CpuMode.SWITCH] += cost
-        self.sim.schedule(cost, self._complete_switch, nxt)
+        self.sim.schedule(cost, self._complete_switch_cb, nxt)
 
     def _complete_switch(self, thread: Thread) -> None:
         self._switching = False
@@ -164,8 +168,9 @@ class Core:
                 t._request = None
                 t._resume_value = req.consumed
             elif req.remaining > 0:
-                self._start_segment(req)
-                return
+                if not self._start_segment(req):
+                    return
+                # Segment completed inline; fall through to _advance.
             else:
                 # A zero-remaining leftover request: complete it now.
                 t._request = None
@@ -174,14 +179,24 @@ class Core:
 
     def _advance(self, t: Thread) -> None:
         """Resume the thread generator until it issues a real CPU request."""
-        for _ in range(_MAX_SYNC_STEPS):
+        send = t._gen.send
+        steps = 0
+        while True:
+            steps += 1
+            if steps > _MAX_SYNC_STEPS:
+                raise SchedulerError(
+                    f"{t.name} made {_MAX_SYNC_STEPS} zero-time requests; livelock?"
+                )
             try:
-                req = t._gen.send(t._resume_value)
+                req = send(t._resume_value)
             except StopIteration:
                 self._finish_current()
                 return
             t._resume_value = None
-            if isinstance(req, Consume):
+            # The request classes are final, so exact-type dispatch is safe
+            # and skips isinstance's subclass walk on the hottest branch.
+            cls = type(req)
+            if cls is Consume:
                 if req.interruptible and t._poke_pending:
                     # A poke raced ahead of the yield: deliver immediately.
                     t._poke_pending = False
@@ -191,16 +206,21 @@ class Core:
                     t._resume_value = 0
                     continue
                 t._request = req
-                self._start_segment(req)
+                if self._start_segment(req):
+                    # The whole segment was fused into this dispatch (the
+                    # clock advanced, so this is real progress): resume the
+                    # generator directly and reset the livelock guard.
+                    steps = 0
+                    continue
                 return
-            if isinstance(req, Block):
+            if cls is Block:
                 if t._wake_pending:
                     t._wake_pending = False
                     continue
                 self._stop_current(ThreadState.BLOCKED)
                 self._reschedule()
                 return
-            if isinstance(req, YieldCPU):
+            if cls is YieldCPU:
                 if len(self.rq):
                     self.need_resched = False
                     stopped = self._stop_current(ThreadState.READY)
@@ -209,16 +229,41 @@ class Core:
                     return
                 continue
             raise SchedulerError(f"{t.name} yielded unknown request {req!r}")
-        raise SchedulerError(f"{t.name} made {_MAX_SYNC_STEPS} zero-time requests; livelock?")
 
-    def _start_segment(self, req: Consume) -> None:
+    def _start_segment(self, req: Consume) -> bool:
+        """Begin a CPU segment; True when it was *fused* (completed inline).
+
+        The fused path asks the simulator to advance the clock over the
+        whole segment (:meth:`Simulator.advance_for_segment`), which only
+        succeeds when no other event could fire before the completion —
+        the completion is then applied synchronously with exactly the
+        bookkeeping :meth:`_on_segment_complete` would have performed at
+        the same instant: same clock, same per-mode accounting, same
+        vruntime update, same resume value.
+        """
         if self.need_resched and len(self.rq):
             self.need_resched = False
             self.preempt_current()
-            return
+            return False
         self.need_resched = False
-        self._segment_started = self.sim.now
-        self._completion_ev = self.sim.schedule(req.remaining, self._on_segment_complete)
+        sim = self.sim
+        if sim.advance_for_segment(req.remaining):
+            t = self.current
+            elapsed = req.remaining
+            req.remaining = 0
+            req.consumed += elapsed
+            mode = req.mode
+            t.sum_exec += elapsed
+            t.mode_exec[mode] += elapsed
+            self.mode_time[mode] += elapsed
+            self.rq.update_curr(t, elapsed)
+            self._segment_started = sim.now
+            t._request = None
+            t._resume_value = req.consumed
+            return True
+        self._segment_started = sim.now
+        self._completion_ev = sim.schedule(req.remaining, self._on_segment_complete_cb)
+        return False
 
     def _on_segment_complete(self) -> None:
         self._completion_ev = None
@@ -253,7 +298,8 @@ class Core:
         t = self.current
         if t is None or t._request is None:
             return
-        elapsed = self.sim.now - self._segment_started
+        now = self.sim.now
+        elapsed = now - self._segment_started
         if elapsed <= 0:
             return
         req = t._request
@@ -261,10 +307,14 @@ class Core:
             raise SchedulerError("segment overran its scheduled completion")
         req.remaining -= elapsed
         req.consumed += elapsed
-        t.account(req.mode, elapsed)
-        self.mode_time[req.mode] += elapsed
+        # Inlined Thread.account(): this runs once per segment boundary and
+        # is the hottest accounting path in the engine.
+        mode = req.mode
+        t.sum_exec += elapsed
+        t.mode_exec[mode] += elapsed
+        self.mode_time[mode] += elapsed
         self.rq.update_curr(t, elapsed)
-        self._segment_started = self.sim.now
+        self._segment_started = now
 
     # ------------------------------------------------------------------ IPIs
     def on_ipi(self, vector: int, kind: str) -> None:

@@ -66,6 +66,9 @@ class Link:
         b.link = self
         # Per-direction time at which the transmitter becomes free.
         self._busy_until = {a: 0, b: 0}
+        # Pre-bound per direction: transmit schedules the peer's receive on
+        # every packet, and rebinding the method per call allocates.
+        self._deliver_to_peer = {a: b.receive, b: a.receive}
 
     def peer_of(self, nic: Nic) -> Nic:
         """The NIC at the other end of this link."""
@@ -78,12 +81,13 @@ class Link:
 
     def transmit(self, src: Nic, packet) -> None:
         """Serialize ``packet`` out of ``src`` and deliver it to the peer."""
-        peer = self.peer_of(src)
-        start = max(self.sim.now, self._busy_until[src])
+        now = self.sim.now
+        busy = self._busy_until[src]
+        start = now if now > busy else busy
         finish = start + transmit_time_ns(packet.size, self.rate_gbps)
         self._busy_until[src] = finish
         arrival = finish + self.propagation_ns
-        self.sim.at(arrival, peer.receive, packet)
+        self.sim.at(arrival, self._deliver_to_peer[src], packet)
 
     def queued_delay(self, src: Nic) -> int:
         """Current serialization backlog out of ``src`` (ns)."""

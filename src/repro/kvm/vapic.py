@@ -79,12 +79,11 @@ class VApicPage:
     # ------------------------------------------------------------- delivery
     def has_deliverable(self) -> bool:
         """True if a pending vector may be delivered now."""
-        vec = self.highest_pending()
-        if vec is None:
+        virr = self.virr
+        if not virr:
             return False
-        if self.visr and max(self.visr) >= vec:
-            return False
-        return True
+        visr = self.visr
+        return not visr or max(visr) < max(virr)
 
     def highest_pending(self) -> Optional[int]:
         """Highest-priority pending vector, or None."""
@@ -94,12 +93,15 @@ class VApicPage:
 
     def deliver(self) -> int:
         """Move the highest vIRR vector into service (non-exit delivery)."""
-        if not self.has_deliverable():
-            raise HypervisorError(f"{self.vcpu_name}: deliver() with nothing deliverable")
-        vec = self.highest_pending()
-        self.virr.discard(vec)
-        self.visr.add(vec)
-        return vec
+        virr = self.virr
+        if virr:
+            vec = max(virr)
+            visr = self.visr
+            if not visr or max(visr) < vec:
+                virr.discard(vec)
+                visr.add(vec)
+                return vec
+        raise HypervisorError(f"{self.vcpu_name}: deliver() with nothing deliverable")
 
     # ----------------------------------------------------------- completion
     def eoi(self) -> Optional[int]:

@@ -93,11 +93,12 @@ class Vcpu(Thread):
                 yield from self._vm_exit_entry(self._forced_exit)
                 continue
             op = self.guest_ctx.next_op()
-            if isinstance(op, GWork):
+            cls = type(op)
+            if cls is GWork:
                 yield from self._guest_consume(op.ns)
-            elif isinstance(op, GKick):
+            elif cls is GKick:
                 yield from self._do_kick(op.queue)
-            elif isinstance(op, GHalt):
+            elif cls is GHalt:
                 yield from self._halt()
             else:
                 raise GuestError(f"{self.name}: unknown guest op {op!r}")
@@ -218,9 +219,10 @@ class Vcpu(Thread):
 
     def _run_ops(self, ops):
         for op in ops:
-            if isinstance(op, GWork):
+            cls = type(op)
+            if cls is GWork:
                 yield from self._guest_consume(op.ns)
-            elif isinstance(op, GKick):
+            elif cls is GKick:
                 yield from self._do_kick(op.queue)
             else:
                 raise GuestError(f"{self.name}: illegal op in IRQ context: {op!r}")

@@ -79,7 +79,8 @@ def current_revision() -> str:
 
 
 def _throughput_point(
-    name: str, seed: int, warmup_ns: int, measure_ns: int, profile: bool
+    name: str, seed: int, warmup_ns: int, measure_ns: int, profile: bool,
+    profile_top: int = 8,
 ) -> Dict[str, Any]:
     """One single-vCPU TCP-send configuration, measured through the obs layer."""
     tb = single_vcpu_testbed(paper_config(name, quota=4), seed=seed)
@@ -101,7 +102,7 @@ def _throughput_point(
         },
     }
     if profile:
-        point["profile_top"] = tb.sim.obs.profiler.summary(top=8)
+        point["profile_top"] = tb.sim.obs.profiler.summary(top=profile_top)
     return point
 
 
@@ -159,12 +160,14 @@ def run_bench(
     latency_duration_ns: int = DEFAULT_LATENCY_NS,
     profile: bool = True,
     revision: Optional[str] = None,
+    profile_top: int = 8,
 ) -> Dict[str, Any]:
     """Run the smoke sweep and return the full report as a dict."""
     wall0 = time.perf_counter()
     throughput = {
         name: _throughput_point(name, seed, warmup_ns, measure_ns,
-                                profile=profile and name == "PI")
+                                profile=profile and name == "PI",
+                                profile_top=profile_top)
         for name in ("Baseline", "PI")
     }
     hybrid = _hybrid_point(seed, warmup_ns, measure_ns)
@@ -244,6 +247,21 @@ def format_bench(report: Dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+def format_profile(report: Dict[str, Any]) -> str:
+    """Render the PI point's per-event-type profile (empty string if absent)."""
+    prof = report.get("throughput", {}).get("PI", {}).get("profile_top")
+    if not prof:
+        return ""
+    lines = ["  event-type profile (PI point, heaviest wall time first):"]
+    lines.append(f"    {'event type':<48} {'count':>9} {'wall ms':>9} {'mean us':>9}")
+    for key, entry in prof.items():
+        lines.append(
+            f"    {key:<48} {entry['count']:>9} "
+            f"{entry['wall_total_ns'] / 1e6:>9.1f} {entry['wall_mean_ns'] / 1e3:>9.1f}"
+        )
+    return "\n".join(lines)
+
+
 def main(argv=None) -> int:
     """Entry point shared by ``repro bench`` and ``scripts/bench_report.py``."""
     import argparse
@@ -259,16 +277,26 @@ def main(argv=None) -> int:
     parser.add_argument("--output", default=None, help="output path (default BENCH_<rev>.json)")
     parser.add_argument("--no-profile", action="store_true",
                         help="skip the per-event-type run-loop profile")
+    parser.add_argument("--profile-top", type=int, default=0, metavar="N",
+                        help="print the N heaviest event types from the run-loop "
+                             "profile (implies profiling; default: report-only)")
     args = parser.parse_args(argv)
+    if args.profile_top > 0 and args.no_profile:
+        parser.error("--profile-top conflicts with --no-profile")
     report = run_bench(
         seed=args.seed,
         warmup_ns=args.warmup_ms * MS,
         measure_ns=args.measure_ms * MS,
         latency_duration_ns=args.latency_ms * MS,
         profile=not args.no_profile,
+        profile_top=args.profile_top if args.profile_top > 0 else 8,
     )
     path = write_report(report, args.output)
     print(format_bench(report))
+    if args.profile_top > 0:
+        summary = format_profile(report)
+        if summary:
+            print(summary)
     print(f"wrote {path}")
     return 0
 

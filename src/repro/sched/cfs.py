@@ -109,8 +109,16 @@ class CfsRunqueue:
         """Advance the running thread's vruntime by a weighted ``delta_ns``."""
         if delta_ns < 0:
             raise SchedulerError("negative runtime delta")
-        thread.vruntime += delta_ns * NICE_0_WEIGHT // thread.weight
-        self._advance_min_vruntime(thread)
+        v = thread.vruntime + delta_ns * NICE_0_WEIGHT // thread.weight
+        thread.vruntime = v
+        # Allocation-free _advance_min_vruntime(thread): min_vruntime moves
+        # up to min(current.vruntime, leftmost queued vruntime), never down.
+        for queued in self.queue:
+            qv = queued.vruntime
+            if qv < v:
+                v = qv
+        if v > self.min_vruntime:
+            self.min_vruntime = v
 
     def _advance_min_vruntime(self, current: Optional[Thread]) -> None:
         candidates = []

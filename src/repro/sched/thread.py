@@ -40,6 +40,13 @@ class CpuMode(enum.Enum):
     SWITCH = "switch"  #: context-switch overhead
     IDLE = "idle"  #: core idle
 
+    # Identity hashing: Enum.__hash__ hashes the member *name* string, and
+    # the per-segment accounting path performs hundreds of thousands of
+    # mode_exec/mode_time dict lookups per run.  Members are singletons and
+    # modes are never iterated through a set (only insertion-ordered dicts),
+    # so the id-based hash cannot affect any deterministic ordering.
+    __hash__ = object.__hash__
+
 
 class Consume:
     """Request to burn CPU time."""
@@ -49,8 +56,9 @@ class Consume:
     def __init__(self, ns: int, mode: CpuMode = CpuMode.KERNEL, interruptible: bool = False):
         if ns < 0:
             raise SchedulerError(f"cannot consume negative time ({ns})")
-        self.requested = int(ns)
-        self.remaining = int(ns)
+        ns = int(ns)
+        self.requested = ns
+        self.remaining = ns
         self.consumed = 0
         self.mode = mode
         self.interruptible = interruptible

@@ -8,6 +8,7 @@ RNG streams, online statistics, and an optional structured trace recorder.
 from repro.sim.event import Event, EventQueue
 from repro.sim.simulator import Simulator
 from repro.sim.rng import RngRegistry
+from repro.sim.wheel import TimingWheelQueue
 from repro.sim.stats import (
     Histogram,
     IntervalRate,
@@ -19,6 +20,7 @@ from repro.sim.trace import NullTracer, TraceRecorder
 __all__ = [
     "Event",
     "EventQueue",
+    "TimingWheelQueue",
     "Simulator",
     "RngRegistry",
     "RunningStat",

@@ -23,12 +23,25 @@ Cancelled events are dropped lazily from the top, and additionally pruned
 in batches: once enough dead entries accumulate relative to the structure
 size, the heap is rebuilt without them so sift costs do not grow with the
 cancellation backlog.
+
+Object pooling
+--------------
+Fired events can be returned to a per-queue free list (:meth:`EventQueue.
+recycle`) and reused by later pushes, which removes one allocation per
+event on the run-loop hot path.  Reuse resets every field — time, seq,
+callback, and the ``cancelled``/``fired`` flags — so a recycled event is
+indistinguishable from a fresh one (``repr`` included).  Recycling is only
+legal when the caller holds the *sole* reference: the simulator run loop
+checks ``sys.getrefcount`` before recycling, so any event handle kept by
+user code (for ``cancel()``, assertions, ...) keeps its object untouched.
+Cancelled events are never recycled — their handles outlive the queue's
+interest in them by design.
 """
 
 from __future__ import annotations
 
-import heapq
 from collections import deque
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Deque, List, Optional, Tuple
 
 from repro.errors import SimulationError
@@ -38,6 +51,11 @@ __all__ = ["Event", "EventQueue"]
 #: Batched pruning kicks in only past this many dead entries (small queues
 #: are cheap to skip lazily) and only when dead entries dominate the heap.
 _PRUNE_THRESHOLD = 64
+
+#: Upper bound on the recycled-Event free list per queue.  The steady-state
+#: working set is tiny (one in-flight event per core/timer source); the cap
+#: only matters after a burst, where unbounded growth would pin memory.
+_FREE_LIST_CAP = 512
 
 
 class Event:
@@ -113,7 +131,7 @@ class Event:
 class EventQueue:
     """Priority queue of :class:`Event` with lazy cancellation."""
 
-    __slots__ = ("_heap", "_fifo", "_seq", "_live", "_dead")
+    __slots__ = ("_heap", "_fifo", "_seq", "_live", "_dead", "_free")
 
     def __init__(self) -> None:
         self._heap: List[Tuple[int, int, Event]] = []
@@ -121,16 +139,33 @@ class EventQueue:
         self._seq = 0
         self._live = 0
         self._dead = 0
+        self._free: List[Event] = []
 
     def __len__(self) -> int:
         """Number of *live* (non-cancelled, unfired) events."""
         return self._live
 
+    def _obtain(self, time: int, seq: int, fn: Callable[..., Any], args: tuple) -> Event:
+        """A fresh-looking event: from the free list if possible, else new."""
+        free = self._free
+        if free:
+            ev = free.pop()
+            ev.time = time
+            ev.seq = seq
+            ev.fn = fn
+            ev.args = args
+            ev._cancelled = False
+            ev._fired = False
+            ev._queue = self
+            return ev
+        return Event(time, seq, fn, args, self)
+
     def push(self, time: int, fn: Callable[..., Any], args: tuple = ()) -> Event:
         """Schedule ``fn(*args)`` at absolute time ``time`` and return the event."""
-        ev = Event(time, self._seq, fn, args, self)
-        self._seq += 1
-        heapq.heappush(self._heap, (time, ev.seq, ev))
+        seq = self._seq
+        self._seq = seq + 1
+        ev = self._obtain(time, seq, fn, args)
+        heappush(self._heap, (time, seq, ev))
         self._live += 1
         return ev
 
@@ -141,11 +176,30 @@ class EventQueue:
         carry non-decreasing ``(time, seq)`` keys, so the lane is sorted by
         construction and the heap can be skipped.
         """
-        ev = Event(time, self._seq, fn, args, self)
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
+        ev = self._obtain(time, seq, fn, args)
         self._fifo.append(ev)
         self._live += 1
         return ev
+
+    def recycle(self, ev: Event) -> None:
+        """Return a *fired* event to the free list for reuse by a later push.
+
+        The caller must hold the only remaining reference (the run loop
+        verifies this with ``sys.getrefcount``): a recycled event's identity
+        is handed to a future push, so an external holder would observe its
+        handle mutating into an unrelated event.  Idempotent — an event that
+        was already recycled (``_queue`` cleared) or never fired is ignored.
+        """
+        if not ev._fired or ev._queue is None:
+            return
+        ev._queue = None
+        ev.fn = None  # type: ignore[assignment]  # drop callback/arg refs eagerly
+        ev.args = ()
+        free = self._free
+        if len(free) < _FREE_LIST_CAP:
+            free.append(ev)
 
     # ---------------------------------------------------------- bookkeeping
     def _note_cancelled(self, ev: Event) -> None:
@@ -167,7 +221,7 @@ class EventQueue:
     def _prune(self) -> None:
         """Batched removal of cancelled entries (keeps sift costs bounded)."""
         self._heap = [entry for entry in self._heap if not entry[2]._cancelled]
-        heapq.heapify(self._heap)
+        heapify(self._heap)
         if self._fifo:
             self._fifo = deque(ev for ev in self._fifo if not ev._cancelled)
         self._dead = 0
@@ -175,8 +229,14 @@ class EventQueue:
     # ----------------------------------------------------------- retrieval
     def peek_time(self) -> Optional[int]:
         """Time of the next live event, or None if the queue is empty."""
-        self._drop_dead()
         heap, fifo = self._heap, self._fifo
+        # Dead-entry skip inlined (this runs once per fusion attempt).
+        while heap and heap[0][2]._cancelled:
+            heappop(heap)
+            self._dead -= 1
+        while fifo and fifo[0]._cancelled:
+            fifo.popleft()
+            self._dead -= 1
         if heap:
             if fifo and fifo[0].time <= heap[0][0]:
                 return fifo[0].time
@@ -195,7 +255,7 @@ class EventQueue:
                          or (fifo[0].time == head[0] and fifo[0].seq < head[1])):
                 ev = fifo.popleft()
             else:
-                ev = heapq.heappop(heap)[2]
+                ev = heappop(heap)[2]
         elif fifo:
             ev = fifo.popleft()
         else:
@@ -210,8 +270,13 @@ class EventQueue:
         Fuses ``peek_time`` and ``pop`` for the run loop, so the dead-entry
         skip and the two-lane head comparison happen once per event.
         """
-        self._drop_dead()
         heap, fifo = self._heap, self._fifo
+        while heap and heap[0][2]._cancelled:
+            heappop(heap)
+            self._dead -= 1
+        while fifo and fifo[0]._cancelled:
+            fifo.popleft()
+            self._dead -= 1
         if heap:
             head = heap[0]
             if fifo and (fifo[0].time < head[0]
@@ -222,7 +287,7 @@ class EventQueue:
             else:
                 if head[0] > limit:
                     return None
-                ev = heapq.heappop(heap)[2]
+                ev = heappop(heap)[2]
         elif fifo:
             if fifo[0].time > limit:
                 return None
@@ -236,7 +301,7 @@ class EventQueue:
     def _drop_dead(self) -> None:
         heap = self._heap
         while heap and heap[0][2]._cancelled:
-            heapq.heappop(heap)
+            heappop(heap)
             self._dead -= 1
         fifo = self._fifo
         while fifo and fifo[0]._cancelled:

@@ -1,0 +1,332 @@
+"""A hierarchical timing-wheel backend for the pending-event queue.
+
+Drop-in alternative to :class:`~repro.sim.event.EventQueue` (selected with
+``Simulator(queue_backend="wheel")`` or ``REPRO_QUEUE_BACKEND=wheel``) with
+the same observable semantics: events fire in exact ``(time, seq)`` order,
+cancellation is lazy, and ``push_soon`` events ride the same FIFO fast lane.
+
+Layout
+------
+Two levels plus the FIFO lane:
+
+* **fine wheel** — ``2**SLOT_BITS`` (256) unsorted buckets of
+  ``2**GRANULARITY_BITS`` ns (~2 µs) each, covering a sliding window of
+  ~512 µs starting at ``_floor`` (the slot key of the last popped event).
+  Short-horizon timers — segment completions, vhost repoll timers, NAPI
+  budgets — are appended in O(1) and cancelled in O(1) (lazy flag).
+* **far heap** — everything beyond the window sits in a conventional heap
+  and *cascades* into the wheel once the window slides over it.
+
+Cascade rule: before each scan, far-heap heads whose slot key has entered
+``[_floor, _floor + 2**SLOT_BITS)`` move into their bucket.  ``_floor``
+only ever advances to the key of a popped event's time, and pushes never
+target times before "now", so every live bucket entry has a key inside the
+window — two entries in the same bucket therefore share the same key, and
+the bucket minimum is the window minimum.  A far-heap entry pushed for a
+time *before* the current window (possible only for queue users that push
+into the past, which the simulator forbids) stays in the heap and is merged
+by head comparison, so ordering is preserved even then.
+
+Pop finds the earliest bucket at or after ``_floor``, takes its minimum
+``(time, seq)`` entry, and compares it against the far-heap head and the
+FIFO head.  The scan result is cached and invalidated by earlier pushes or
+cancellation of the cached entry, so repeated peek/pop pairs do not rescan.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.event import _FREE_LIST_CAP, _PRUNE_THRESHOLD, Event
+
+__all__ = ["TimingWheelQueue", "SLOT_BITS", "GRANULARITY_BITS"]
+
+#: log2 of the number of fine-wheel buckets.
+SLOT_BITS = 8
+#: log2 of the nanoseconds covered by one bucket (2048 ns ≈ 2 µs).
+GRANULARITY_BITS = 11
+
+_SLOTS = 1 << SLOT_BITS
+_MASK = _SLOTS - 1
+
+# Internal cache entry: (time, seq, event, in_wheel).
+_Entry = Tuple[int, int, Event]
+
+
+class TimingWheelQueue:
+    """Timing-wheel priority queue of :class:`Event` with lazy cancellation."""
+
+    __slots__ = ("_slots", "_wheel_len", "_floor", "_far", "_fifo",
+                 "_seq", "_live", "_dead", "_cache", "_free")
+
+    def __init__(self) -> None:
+        self._slots: List[List[_Entry]] = [[] for _ in range(_SLOTS)]
+        self._wheel_len = 0  # entries (live or cancelled) currently in buckets
+        self._floor = 0  # slot key of the last popped non-FIFO event
+        self._far: List[_Entry] = []
+        self._fifo: Deque[Event] = deque()
+        self._seq = 0
+        self._live = 0
+        self._dead = 0
+        self._cache: Optional[Tuple[int, int, Event, bool]] = None
+        self._free: List[Event] = []
+
+    def __len__(self) -> int:
+        """Number of *live* (non-cancelled, unfired) events."""
+        return self._live
+
+    # -------------------------------------------------------------- insertion
+    def _obtain(self, time: int, seq: int, fn: Callable[..., Any], args: tuple) -> Event:
+        free = self._free
+        if free:
+            ev = free.pop()
+            ev.time = time
+            ev.seq = seq
+            ev.fn = fn
+            ev.args = args
+            ev._cancelled = False
+            ev._fired = False
+            ev._queue = self
+            return ev
+        return Event(time, seq, fn, args, self)
+
+    def push(self, time: int, fn: Callable[..., Any], args: tuple = ()) -> Event:
+        """Schedule ``fn(*args)`` at absolute time ``time`` and return the event."""
+        seq = self._seq
+        self._seq = seq + 1
+        ev = self._obtain(time, seq, fn, args)
+        key = time >> GRANULARITY_BITS
+        floor = self._floor
+        if floor <= key < floor + _SLOTS:
+            self._slots[key & _MASK].append((time, seq, ev))
+            self._wheel_len += 1
+        else:
+            # Beyond the window — or (for non-simulator users only) before
+            # it; both lanes are merged by head comparison at pop time.
+            heapq.heappush(self._far, (time, seq, ev))
+        cache = self._cache
+        if cache is not None and (time < cache[0] or (time == cache[0] and seq < cache[1])):
+            self._cache = None
+        self._live += 1
+        return ev
+
+    def push_soon(self, time: int, fn: Callable[..., Any], args: tuple = ()) -> Event:
+        """FIFO fast lane for events at the current instant (``call_soon``)."""
+        seq = self._seq
+        self._seq = seq + 1
+        ev = self._obtain(time, seq, fn, args)
+        self._fifo.append(ev)
+        self._live += 1
+        return ev
+
+    def recycle(self, ev: Event) -> None:
+        """Return a fired event to the free list (see ``EventQueue.recycle``)."""
+        if not ev._fired or ev._queue is None:
+            return
+        ev._queue = None
+        ev.fn = None  # type: ignore[assignment]
+        ev.args = ()
+        free = self._free
+        if len(free) < _FREE_LIST_CAP:
+            free.append(ev)
+
+    # ---------------------------------------------------------- bookkeeping
+    def _note_cancelled(self, ev: Event) -> None:
+        if self._live <= 0:
+            raise SimulationError("cancelled more events than were live")
+        self._live -= 1
+        self._dead += 1
+        cache = self._cache
+        if cache is not None and cache[2] is ev:
+            self._cache = None
+        size = self._wheel_len + len(self._far) + len(self._fifo)
+        if self._dead > _PRUNE_THRESHOLD and self._dead * 2 > size:
+            self._prune()
+
+    def note_cancelled(self) -> None:
+        """Deprecated bookkeeping hook, kept as a no-op for compatibility."""
+
+    def _prune(self) -> None:
+        """Batched removal of cancelled entries from every lane."""
+        entries = [e for e in self._far if not e[2]._cancelled]
+        for bucket in self._slots:
+            if bucket:
+                entries.extend(e for e in bucket if not e[2]._cancelled)
+                bucket.clear()
+        self._wheel_len = 0
+        self._far = []
+        floor = self._floor
+        end = floor + _SLOTS
+        for entry in entries:
+            key = entry[0] >> GRANULARITY_BITS
+            if floor <= key < end:
+                self._slots[key & _MASK].append(entry)
+                self._wheel_len += 1
+            else:
+                self._far.append(entry)
+        heapq.heapify(self._far)
+        if self._fifo:
+            self._fifo = deque(ev for ev in self._fifo if not ev._cancelled)
+        self._dead = 0
+        self._cache = None
+
+    # ----------------------------------------------------------- retrieval
+    def _find_min(self) -> Optional[Tuple[int, int, Event, bool]]:
+        """Earliest live non-FIFO entry as ``(time, seq, ev, in_wheel)``.
+
+        Cascades in-window far-heap entries, prunes cancelled entries from
+        the buckets it scans, and caches the result; the cache stays valid
+        until an earlier push or cancellation of the cached entry.
+        """
+        cache = self._cache
+        if cache is not None and not cache[2]._cancelled:
+            return cache
+        self._cache = None
+        far = self._far
+        floor = self._floor
+        end = floor + _SLOTS
+        slots = self._slots
+        # Cascade: migrate far-heap heads that entered the window.  Heads
+        # before the window (past-time pushes by non-simulator users) stay
+        # and are merged by comparison below.
+        while far:
+            head = far[0]
+            if head[2]._cancelled:
+                heapq.heappop(far)
+                self._dead -= 1
+                continue
+            key = head[0] >> GRANULARITY_BITS
+            if floor <= key < end:
+                heapq.heappop(far)
+                slots[key & _MASK].append(head)
+                self._wheel_len += 1
+                continue
+            break
+        best: Optional[_Entry] = None
+        if self._wheel_len:
+            key = floor
+            for _ in range(_SLOTS):
+                bucket = slots[key & _MASK]
+                if bucket:
+                    live = [e for e in bucket if not e[2]._cancelled]
+                    ndead = len(bucket) - len(live)
+                    if ndead:
+                        bucket[:] = live
+                        self._dead -= ndead
+                        self._wheel_len -= ndead
+                    if live:
+                        best = min(live)
+                        break
+                key += 1
+        if best is None:
+            if not far:
+                return None
+            self._cache = (far[0][0], far[0][1], far[0][2], False)
+            return self._cache
+        if far and far[0] < best:
+            self._cache = (far[0][0], far[0][1], far[0][2], False)
+        else:
+            self._cache = (best[0], best[1], best[2], True)
+        return self._cache
+
+    def _remove(self, found: Tuple[int, int, Event, bool]) -> None:
+        """Physically remove the entry returned by :meth:`_find_min`."""
+        time, seq, ev, in_wheel = found
+        key = time >> GRANULARITY_BITS
+        if in_wheel:
+            self._slots[key & _MASK].remove((time, seq, ev))
+            self._wheel_len -= 1
+            if key > self._floor:
+                self._floor = key
+        else:
+            heapq.heappop(self._far)
+            # Advancing the floor past far-heap territory is only safe when
+            # no bucket entry could alias into the widened window.
+            if self._wheel_len == 0 and key > self._floor:
+                self._floor = key
+        self._cache = None
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the next live event, or None if the queue is empty."""
+        fifo = self._fifo
+        while fifo and fifo[0]._cancelled:
+            fifo.popleft()
+            self._dead -= 1
+        found = self._find_min()
+        if found is not None:
+            if fifo and fifo[0].time <= found[0]:
+                return fifo[0].time
+            return found[0]
+        if fifo:
+            return fifo[0].time
+        return None
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next live event, or None if empty."""
+        fifo = self._fifo
+        while fifo and fifo[0]._cancelled:
+            fifo.popleft()
+            self._dead -= 1
+        found = self._find_min()
+        if found is not None:
+            if fifo and (fifo[0].time < found[0]
+                         or (fifo[0].time == found[0] and fifo[0].seq < found[1])):
+                ev = fifo.popleft()
+            else:
+                ev = found[2]
+                self._remove(found)
+        elif fifo:
+            ev = fifo.popleft()
+        else:
+            return None
+        ev._fired = True
+        self._live -= 1
+        return ev
+
+    def pop_until(self, limit: int) -> Optional[Event]:
+        """Pop the next live event if its time is ``<= limit``, else None."""
+        fifo = self._fifo
+        while fifo and fifo[0]._cancelled:
+            fifo.popleft()
+            self._dead -= 1
+        found = self._find_min()
+        if found is not None:
+            if fifo and (fifo[0].time < found[0]
+                         or (fifo[0].time == found[0] and fifo[0].seq < found[1])):
+                if fifo[0].time > limit:
+                    return None
+                ev = fifo.popleft()
+            else:
+                if found[0] > limit:
+                    return None
+                ev = found[2]
+                self._remove(found)
+        elif fifo:
+            if fifo[0].time > limit:
+                return None
+            ev = fifo.popleft()
+        else:
+            return None
+        ev._fired = True
+        self._live -= 1
+        return ev
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        for bucket in self._slots:
+            for _, _, ev in bucket:
+                ev._queue = None
+            bucket.clear()
+        for _, _, ev in self._far:
+            ev._queue = None
+        for ev in self._fifo:
+            ev._queue = None
+        self._wheel_len = 0
+        self._far.clear()
+        self._fifo.clear()
+        self._live = 0
+        self._dead = 0
+        self._cache = None

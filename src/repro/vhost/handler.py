@@ -81,9 +81,17 @@ class StockTxHandler(QueueHandler):
         """Service the queue for one round (generator; consumes worker CPU)."""
         q = self.queue
         q.suppress_notify()
+        # Hoisted out of the per-packet loop: these lookups dominate the
+        # handler's Python-side cost on long bursts.
+        pop = q.pop
+        memo = self._base_cost_memo
+        rng = self._rng
+        cost = self.cost
+        jittered = cost.jittered
+        transmit = self.device.transmit_to_wire
         processed = 0
         while processed < self.weight:
-            pkt = q.pop()
+            pkt = pop()
             if pkt is None:
                 # Drained: back to notification mode (+ the re-check race).
                 q.enable_notify()
@@ -96,10 +104,15 @@ class StockTxHandler(QueueHandler):
                 sp = sim.obs.spans
                 if sp is not None:
                     sp.mark(sim.now, pkt.ctx, "vhost_tx_pop", handler=self.name, mode="notification")
-            yield Consume(self._tx_cost(pkt), CpuMode.KERNEL)
+            size = pkt.size
+            base = memo.get(size)
+            if base is None:
+                base = cost.vhost_pkt_tx_ns + int(cost.vhost_per_byte_ns * size)
+                memo[size] = base
+            yield Consume(jittered(base, rng), CpuMode.KERNEL)
             self.packets += 1
-            self.bytes += pkt.size
-            self.device.transmit_to_wire(pkt)
+            self.bytes += size
+            transmit(pkt)
         # Weight exhausted with work remaining: stay suppressed, requeue.
         self.weight_exhausted += 1
         worker.activate_delayed(self)
@@ -163,23 +176,35 @@ class RxHandler(QueueHandler):
         """Service the queue for one round (generator; consumes worker CPU)."""
         device = self.device
         rxq = self.queue
+        backlog = device.backlog
+        rxq_push = rxq.push
+        memo = self._base_cost_memo
+        rng = self._rng
+        cost = self.cost
+        jittered = cost.jittered
+        weight = self.weight
         processed = 0
-        while processed < self.weight:
-            if not device.backlog:
+        while processed < weight:
+            if not backlog:
                 break
             if rxq.is_full:
                 # No free RX descriptors: the guest must drain first; we are
                 # re-activated from the NAPI side (on_guest_rx_pop).
                 self.ring_stalls += 1
                 break
-            pkt = device.backlog.popleft()
+            pkt = backlog.popleft()
             if pkt.ctx is not None:
                 sim = worker.sim
                 sp = sim.obs.spans
                 if sp is not None:
                     sp.mark(sim.now, pkt.ctx, "vhost_rx_pop", handler=self.name)
-            yield Consume(self._rx_cost(pkt), CpuMode.KERNEL)
-            rxq.push(pkt)
+            size = pkt.size
+            base = memo.get(size)
+            if base is None:
+                base = cost.vhost_pkt_rx_ns + int(cost.vhost_per_byte_ns * size)
+                memo[size] = base
+            yield Consume(jittered(base, rng), CpuMode.KERNEL)
+            rxq_push(pkt)
             if pkt.ctx is not None:
                 sim = worker.sim
                 sp = sim.obs.spans

@@ -64,9 +64,18 @@ class HybridTxHandler(StockTxHandler):
         if not q.notify_suppressed:
             # Algorithm 1 lines 8-10: enter polling mode.
             q.suppress_notify()
+        # Hoisted out of the per-packet loop; the polling rounds here are
+        # the hottest handler path in the whole simulation.
+        pop = q.pop
+        memo = self._base_cost_memo
+        rng = self._rng
+        cost = self.cost
+        jittered = cost.jittered
+        transmit = self.device.transmit_to_wire
+        quota = self.quota
         workload = 0
         while True:
-            pkt = q.pop()
+            pkt = pop()
             if pkt is None:
                 break
             if pkt.ctx is not None:
@@ -74,12 +83,17 @@ class HybridTxHandler(StockTxHandler):
                 sp = sim.obs.spans
                 if sp is not None:
                     sp.mark(sim.now, pkt.ctx, "vhost_tx_pop", handler=self.name, mode=service_mode)
-            yield Consume(self._tx_cost(pkt), CpuMode.KERNEL)
+            size = pkt.size
+            base = memo.get(size)
+            if base is None:
+                base = cost.vhost_pkt_tx_ns + int(cost.vhost_per_byte_ns * size)
+                memo[size] = base
+            yield Consume(jittered(base, rng), CpuMode.KERNEL)
             self.packets += 1
-            self.bytes += pkt.size
-            self.device.transmit_to_wire(pkt)
+            self.bytes += size
+            transmit(pkt)
             workload += 1
-            if workload >= self.quota:
+            if workload >= quota:
                 # Algorithm 1 lines 15-17: high load — keep polling mode but
                 # wait for the next turn so siblings are not starved.
                 self.quota_hits += 1

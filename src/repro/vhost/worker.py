@@ -27,6 +27,9 @@ class VhostWorker(Thread):
         self._active_set: Set[int] = set()
         self.rounds = 0
         self.wakeups = 0
+        # Pre-bound once: requeue timers fire on every quota hit / weight
+        # exhaustion, and rebinding the method per call allocates.
+        self._activate_cb = self.activate
         self.sim.obs.counters.register(f"vhost.worker.{name}", self, ("rounds", "wakeups"))
 
     def activate(self, handler) -> None:
@@ -46,11 +49,11 @@ class VhostWorker(Thread):
         rather than back-to-back — the slack that lets ES2's polling mode
         self-sustain (see :class:`repro.config.CostModel`).
         """
-        self.sim.schedule(self.machine.cost.repoll_delay_ns, self.activate, handler)
+        self.sim.schedule(self.machine.cost.repoll_delay_ns, self._activate_cb, handler)
 
     def activate_after(self, handler, delay_ns: int) -> None:
         """Queue a handler for service after an explicit delay."""
-        self.sim.schedule(delay_ns, self.activate, handler)
+        self.sim.schedule(delay_ns, self._activate_cb, handler)
 
     def has_active(self) -> bool:
         """True while any handler is queued for service."""
@@ -59,22 +62,26 @@ class VhostWorker(Thread):
     def body(self):
         """Thread behaviour (generator of CPU/scheduling requests)."""
         cost = self.machine.cost
+        wakeup_ns = cost.vhost_wakeup_ns
+        switch_ns = cost.handler_switch_ns
+        active = self._active
+        active_set = self._active_set
         fresh_wakeup = False
         while True:
-            if not self._active:
+            if not active:
                 yield Block()
                 # eventfd read + handler lookup on wakeup
-                yield Consume(cost.vhost_wakeup_ns, CpuMode.KERNEL)
+                yield Consume(wakeup_ns, CpuMode.KERNEL)
                 self.wakeups += 1
                 fresh_wakeup = True
                 continue
-            handler = self._active.popleft()
-            self._active_set.discard(id(handler))
+            handler = active.popleft()
+            active_set.discard(id(handler))
             self.rounds += 1
             if not fresh_wakeup:
                 # Rotation between handler rounds costs the switch overhead;
                 # the first round after a wakeup already paid the wakeup cost.
-                yield Consume(cost.handler_switch_ns, CpuMode.KERNEL)
+                yield Consume(switch_ns, CpuMode.KERNEL)
             fresh_wakeup = False
             yield from handler.run(self)
             # Fairness point: let CFS rotate to other host threads if needed.

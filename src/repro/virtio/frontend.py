@@ -93,9 +93,12 @@ class VirtioNetDriver:
         """One NAPI poll session (softirq context)."""
         self.napi_polls += 1
         rxq = self.device.rxq
+        pop = rxq.pop
+        rx_sink = self.rx_sink
+        weight = self.napi_weight
         processed = 0
-        while processed < self.napi_weight:
-            pkt = rxq.pop()
+        while processed < weight:
+            pkt = pop()
             if pkt is None:
                 break
             processed += 1
@@ -106,13 +109,13 @@ class VirtioNetDriver:
                 if sp is not None:
                     sp.mark(sim.now, pkt.ctx, "guest_rx", vcpu=context.vcpu.index)
                     sp.irq_unwait(pkt.ctx, self.vm.vm_id, self.vector)
-            if self.rx_sink is not None:
-                yield from self.rx_sink(pkt, context)
+            if rx_sink is not None:
+                yield from rx_sink(pkt, context)
             else:
                 yield GWork(self.cost.guest_napi_pkt_ns)
         if processed:
             self.device.on_guest_rx_pop()
-        if processed >= self.napi_weight and not rxq.is_empty:
+        if processed >= weight and not rxq.is_empty:
             # Budget exhausted: stay in polling, reschedule ourselves.
             context.raise_softirq(self._napi_poll_ops(context))
             return

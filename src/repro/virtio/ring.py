@@ -66,19 +66,21 @@ class Virtqueue:
 
     def push(self, item) -> None:
         """Producer side: publish a buffer.  Caller must check :attr:`is_full`."""
-        if self.is_full:
+        ring = self._ring
+        if len(ring) >= self.size:
             self.full_events += 1
             raise VirtioError(f"{self.name}: push to a full ring")
-        self._ring.append(item)
+        ring.append(item)
         self.added += 1
 
     def pop(self):
         """Consumer side: take the next buffer, or None if empty."""
-        if not self._ring:
+        ring = self._ring
+        if not ring:
             return None
-        was_full = len(self._ring) >= self.size
+        was_full = len(ring) >= self.size
         self.popped += 1
-        item = self._ring.popleft()
+        item = ring.popleft()
         if was_full and self.space_callback is not None:
             self.space_callback()
         return item

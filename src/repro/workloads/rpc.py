@@ -22,7 +22,7 @@ from typing import Callable, Deque, List, TYPE_CHECKING
 from repro.errors import WorkloadError
 from repro.guest.ops import GWork
 from repro.guest.tasks import GuestTask, TaskBlock
-from repro.net.packet import ETHERNET_OVERHEAD, MSS, TCP_HEADER, Packet
+from repro.net.packet import ETHERNET_OVERHEAD, MSS, TCP_HEADER, PacketPool
 from repro.sim.stats import Histogram
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -55,6 +55,9 @@ class ServerWorkerTask(GuestTask):
         self.reply_to = reply_to
         self.queue: Deque[Request] = deque()
         self.served = 0
+        #: shared with the flows that feed this worker: request packets are
+        #: released here and reused for the responses we transmit
+        self.pool = PacketPool()
 
     def enqueue(self, request: Request, waker_context=None) -> None:
         """Queue a request and wake the worker task."""
@@ -82,7 +85,7 @@ class ServerWorkerTask(GuestTask):
                 remaining -= chunk
                 wire = chunk + TCP_HEADER + ETHERNET_OVERHEAD
                 tx_cost = cost.guest_tcp_tx_ns + int(cost.guest_tx_per_byte_ns * wire)
-                pkt = Packet(
+                pkt = self.pool.acquire(
                     req.flow_id,
                     "resp",
                     wire,
@@ -112,17 +115,18 @@ class GuestServiceFlow:
         yield GWork(cost.guest_napi_pkt_ns + int(cost.guest_rx_per_byte_ns * packet.size))
         self.requests_received += 1
         service_ns, response_bytes = packet.meta
-        self.worker.enqueue_from(
-            context,
-            Request(
-                self.flow_id,
-                packet.kind,
-                service_ns,
-                response_bytes,
-                packet.created,
-                packet.seq,
-            )
+        request = Request(
+            self.flow_id,
+            packet.kind,
+            service_ns,
+            response_bytes,
+            packet.created,
+            packet.seq,
         )
+        # The request packet dies here; its object is reused by the worker
+        # for a response on this flow.
+        self.worker.pool.release(packet)
+        self.worker.enqueue_from(context, request)
 
 
 class ClosedLoopClient:
@@ -153,6 +157,7 @@ class ClosedLoopClient:
         self.completed = 0
         self.latency = Histogram()
         self._rng = testbed.sim.rng.stream(f"client:{guest_addr}")
+        self.pool = PacketPool()
         self._next_conn = 0
         self._pending_resp_bytes = {}
         self._mark_ops = 0
@@ -170,7 +175,7 @@ class ClosedLoopClient:
         kind, wire_size, service_ns, response_bytes = self.request_factory(self._rng)
         conn = self._next_conn
         self._next_conn += 1
-        pkt = Packet(
+        pkt = self.pool.acquire(
             flow_id,
             kind,
             wire_size,
@@ -183,11 +188,14 @@ class ClosedLoopClient:
 
     def _on_response(self, packet) -> None:
         conn, final = packet.meta
+        flow, created = packet.flow, packet.created
+        # Every response segment dies here; recycled for the next request.
+        self.pool.release(packet)
         if not final:
             return
         self.completed += 1
-        self.latency.add(self.testbed.sim.now - packet.created)
-        self._send_request(packet.flow)
+        self.latency.add(self.testbed.sim.now - created)
+        self._send_request(flow)
 
     # ------------------------------------------------------------ measuring
     def mark(self) -> None:

@@ -1,0 +1,156 @@
+"""Object-pool lifecycle tests: Event free-list reuse and the Packet pool.
+
+The pools must be invisible: a recycled object handed out again has to be
+indistinguishable from a freshly constructed one — flags, ``repr``, and
+all payload fields reset — and release misuse must fail loudly rather
+than alias two live objects.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.packet import Packet, PacketPool
+from repro.sim.event import EventQueue
+from repro.sim.simulator import Simulator
+
+
+class TestEventRecycle:
+    def test_recycled_event_is_fully_reset(self):
+        """A reused event must not report the prior occupant's state."""
+        q = EventQueue()
+        ev = q.push(100, print, ("old",))
+        popped = q.pop()
+        assert popped is ev and ev.fired
+        q.recycle(ev)
+        reused = q.push(250, len, ("xyz",))
+        assert reused is ev  # same object, from the free list
+        assert reused.time == 250
+        assert reused.fn is len
+        assert reused.args == ("xyz",)
+        assert reused.pending
+        assert not reused.fired
+        assert not reused.cancelled
+
+    def test_recycled_event_repr_shows_new_state(self):
+        q = EventQueue()
+        ev = q.push(100, print, ("old",))
+        q.pop()
+        assert "fired" in repr(ev)
+        q.recycle(ev)
+        reused = q.push(7777, len, ())
+        assert reused is ev
+        r = repr(reused)
+        assert "pending" in r
+        assert "t=7777" in r
+        assert "fired" not in r
+        assert "print" not in r  # old callback must not leak into repr
+
+    def test_recycle_refuses_unfired_and_is_idempotent(self):
+        q = EventQueue()
+        ev = q.push(10, lambda: None)
+        q.recycle(ev)  # not fired: ignored
+        assert ev.pending
+        assert q.pop() is ev
+        q.recycle(ev)
+        q.recycle(ev)  # second call: no-op, not a double free-list entry
+        a = q.push(1, lambda: None)
+        b = q.push(2, lambda: None)
+        assert a is ev
+        assert b is not ev
+
+    def test_cancelled_events_are_never_recycled(self):
+        """Cancelled handles outlive the queue's interest in them."""
+        q = EventQueue()
+        ev = q.push(10, lambda: None)
+        ev.cancel()
+        q.recycle(ev)
+        assert q.push(5, lambda: None) is not ev
+        # The cancelled handle still reads as cancelled.
+        assert ev.cancelled and not ev.fired
+
+    def test_run_loop_keeps_externally_held_events(self):
+        """A handle kept by user code pins the object: no identity reuse."""
+        sim = Simulator(seed=0)
+        held = sim.schedule(10, lambda: None)
+        sim.schedule(20, lambda: None)
+        sim.run_until(15)
+        assert held.fired
+        later = sim.schedule(30, lambda: None)
+        assert later is not held
+        # The held handle still reports its own firing, not the new event's.
+        assert held.fired and held.time == 10
+
+    def test_run_loop_recycles_unreferenced_events(self):
+        """Events nobody holds are reused by later schedules."""
+        sim = Simulator(seed=0)
+        fired = []
+        sim.schedule(10, fired.append, 1)  # no handle kept
+        sim.run_until(20)
+        assert fired == [1]
+        # The free list should hand the same object back.
+        assert len(sim.queue._free) == 1
+        recycled = sim.queue._free[-1]
+        again = sim.schedule(10, fired.append, 2)
+        assert again is recycled
+
+
+class TestPacketPool:
+    def test_acquire_reuses_released_packet_with_fresh_fields(self):
+        pool = PacketPool()
+        pkt = pool.acquire("f1", "req", 100, dst="guest", seq=3,
+                          created=123, meta=("m",), ctx=9)
+        old_pid = pkt.pid
+        pool.release(pkt)
+        again = pool.acquire("f1", "resp", 200, dst="client", seq=4, created=456)
+        assert again is pkt  # same object, per-flow free list
+        assert again.pid > old_pid  # fresh pid: global order preserved
+        assert (again.kind, again.size, again.dst, again.seq) == ("resp", 200, "client", 4)
+        assert again.created == 456
+        assert again.meta is None and again.ctx is None
+
+    def test_release_clears_reference_fields(self):
+        pool = PacketPool()
+        pkt = pool.acquire("f1", "req", 100, dst="g", meta=object(), ctx=17)
+        pool.release(pkt)
+        assert pkt.meta is None and pkt.ctx is None
+
+    def test_double_release_raises(self):
+        pool = PacketPool()
+        pkt = pool.acquire("f1", "req", 100, dst="g")
+        pool.release(pkt)
+        with pytest.raises(ValueError):
+            pool.release(pkt)
+
+    def test_flows_do_not_share_free_lists(self):
+        pool = PacketPool()
+        a = pool.acquire("flow-a", "req", 10, dst="g")
+        pool.release(a)
+        b = pool.acquire("flow-b", "req", 10, dst="g")
+        assert b is not a
+
+    def test_plain_packet_can_be_released_into_a_pool(self):
+        pool = PacketPool()
+        pkt = Packet("f1", "req", 10, dst="g")
+        pool.release(pkt)
+        assert pool.acquire("f1", "resp", 20, dst="c") is pkt
+
+
+class TestFusionAccounting:
+    def test_fused_segments_keep_logical_event_count(self):
+        """events_fired counts fused completions; results stay identical."""
+        from repro.core.configs import paper_config
+        from repro.experiments.runner import measure_window
+        from repro.experiments.testbed import single_vcpu_testbed
+        from repro.units import MS
+        from repro.workloads.netperf import NetperfTcpSend
+
+        runs = []
+        for _ in range(2):
+            tb = single_vcpu_testbed(paper_config("PI", quota=4), seed=3)
+            wl = NetperfTcpSend(tb, tb.tested, n_streams=1, payload_size=1024)
+            run = measure_window(tb, wl, 5 * MS, 10 * MS, config_name="PI")
+            runs.append((run.throughput_gbps, tb.sim.events_fired, tb.sim.events_inlined))
+        assert runs[0] == runs[1]  # deterministic, including the split
+        _, fired, inlined = runs[0]
+        assert 0 < inlined < fired  # fusion engaged, but not everything fuses

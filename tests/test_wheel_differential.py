@@ -1,0 +1,151 @@
+"""Differential tests: the timing wheel must mirror the heap exactly.
+
+The wheel (`repro.sim.wheel.TimingWheelQueue`) and the heap
+(`repro.sim.event.EventQueue`) are driven with identical randomized
+schedule/cancel/``push_soon`` workloads — including same-instant ties and
+exact-budget drains — and must produce identical firing orders.  This
+covers, for the new backend, the off-by-one regression class PR 1 fixed
+in the heap (events exactly at a ``run_until`` boundary, FIFO-lane merge
+order).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim.event import EventQueue
+from repro.sim.simulator import Simulator
+from repro.sim.wheel import TimingWheelQueue
+
+
+def _drain_pairs(queue, limit=None):
+    """Pop everything (optionally up to ``limit``) as (time, seq) pairs."""
+    out = []
+    while True:
+        ev = queue.pop() if limit is None else queue.pop_until(limit)
+        if ev is None:
+            break
+        out.append((ev.time, ev.seq))
+    return out
+
+
+class TestDifferentialRandom:
+    """Random workloads applied to both backends in lockstep."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_push_cancel_pop(self, seed):
+        rng = random.Random(seed)
+        heap, wheel = EventQueue(), TimingWheelQueue()
+        handles_h, handles_w = [], []
+        now = 0
+        fired_h, fired_w = [], []
+        for _ in range(400):
+            op = rng.random()
+            if op < 0.55 or not handles_h:
+                # Mix of short-horizon (in-window) and far-future times.
+                if rng.random() < 0.8:
+                    t = now + rng.randrange(0, 1 << 19)  # inside wheel window
+                else:
+                    t = now + rng.randrange(1 << 19, 1 << 26)  # far heap
+                handles_h.append(heap.push(t, lambda: None))
+                handles_w.append(wheel.push(t, lambda: None))
+            elif op < 0.7:
+                handles_h.append(heap.push_soon(now, lambda: None))
+                handles_w.append(wheel.push_soon(now, lambda: None))
+            elif op < 0.85 and handles_h:
+                i = rng.randrange(len(handles_h))
+                handles_h[i].cancel()
+                handles_w[i].cancel()
+            else:
+                evh = heap.pop()
+                evw = wheel.pop()
+                if evh is None:
+                    assert evw is None
+                    continue
+                assert (evh.time, evh.seq) == (evw.time, evw.seq)
+                fired_h.append((evh.time, evh.seq))
+                fired_w.append((evw.time, evw.seq))
+                now = evh.time
+            assert len(heap) == len(wheel)
+        fired_h += _drain_pairs(heap)
+        fired_w += _drain_pairs(wheel)
+        assert fired_h == fired_w
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_same_instant_ties_interleave_lanes(self, seed):
+        """Heap pushes and push_soon at one instant merge in seq order."""
+        rng = random.Random(100 + seed)
+        heap, wheel = EventQueue(), TimingWheelQueue()
+        t = 5000
+        for _ in range(50):
+            if rng.random() < 0.5:
+                heap.push(t, lambda: None)
+                wheel.push(t, lambda: None)
+            else:
+                heap.push_soon(t, lambda: None)
+                wheel.push_soon(t, lambda: None)
+        assert _drain_pairs(heap) == _drain_pairs(wheel)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_pop_until_exact_budget_boundary(self, seed):
+        """Events exactly at the pop_until limit fire; later ones do not."""
+        rng = random.Random(200 + seed)
+        heap, wheel = EventQueue(), TimingWheelQueue()
+        limit = 10_000
+        for _ in range(120):
+            # Cluster times around the limit so the boundary is exercised.
+            t = limit + rng.randrange(-40, 41)
+            heap.push(t, lambda: None)
+            wheel.push(t, lambda: None)
+        got_h = _drain_pairs(heap, limit=limit)
+        got_w = _drain_pairs(wheel, limit=limit)
+        assert got_h == got_w
+        assert all(t <= limit for t, _ in got_h)
+        # The remainder (strictly after the limit) also agrees.
+        assert _drain_pairs(heap) == _drain_pairs(wheel)
+
+    def test_cancel_heavy_workload_prunes_identically(self):
+        """Mass cancellation (the preemption pattern) keeps lanes aligned."""
+        rng = random.Random(42)
+        heap, wheel = EventQueue(), TimingWheelQueue()
+        hs, ws = [], []
+        for i in range(600):
+            t = rng.randrange(1, 1 << 22)
+            hs.append(heap.push(t, lambda: None))
+            ws.append(wheel.push(t, lambda: None))
+        for i in rng.sample(range(600), 500):
+            hs[i].cancel()
+            ws[i].cancel()
+        assert len(heap) == len(wheel) == 100
+        assert _drain_pairs(heap) == _drain_pairs(wheel)
+
+
+class TestDifferentialSimulator:
+    """Whole-simulator equivalence through the public backend knob."""
+
+    def _workload(self, sim):
+        log = []
+
+        def tick(label, count):
+            log.append((sim.now, label))
+            if count > 0:
+                sim.schedule(sim.rng.stream("t").randrange(1, 200_000), tick, label, count - 1)
+                if count % 3 == 0:
+                    ev = sim.schedule(50, tick, f"{label}-cancelled", 0)
+                    ev.cancel()
+                if count % 4 == 0:
+                    sim.call_soon(tick, f"{label}-soon", 0)
+
+        for label in ("a", "b", "c"):
+            sim.schedule(1, tick, label, 25)
+        sim.run_until(5_000_000)
+        sim.run_until_empty()
+        return log, sim.events_fired
+
+    def test_run_until_empty_identical_logs(self):
+        log_h, fired_h = self._workload(Simulator(seed=7, queue_backend="heap"))
+        log_w, fired_w = self._workload(Simulator(seed=7, queue_backend="wheel"))
+        assert log_h == log_w
+        assert fired_h == fired_w
