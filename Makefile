@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test lint bench-smoke bench bench-compare profile trace-smoke determinism ci experiments
+.PHONY: test lint bench-smoke bench bench-compare profile trace-smoke dashboard determinism ci experiments
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -36,6 +36,12 @@ bench-compare:
 # profile printed (heaviest wall time first).  Start perf work here.
 profile:
 	PYTHONPATH=src $(PYTHON) -m repro bench --profile-top 15
+
+# Self-contained HTML dashboard (windowed telemetry + path report) from a
+# fresh smoke bench run.  Render an existing report instead with
+# `python -m repro dashboard --input BENCH_<rev>.json`.
+dashboard:
+	PYTHONPATH=src $(PYTHON) -m repro dashboard --output dashboard.html
 
 # One spans-enabled ping run: stage attribution + Perfetto/JSONL exports.
 trace-smoke:

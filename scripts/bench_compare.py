@@ -53,6 +53,13 @@ def _metrics(report: Dict[str, Any]) -> Iterator[Tuple[str, str, float]]:
             yield f"hybrid[{label}].gbps", "higher", float(hybrid[label]["throughput_gbps"])
     for name, point in report.get("latency_ms", {}).items():
         yield f"latency[{name}].p99_ms", "lower", float(point["p99_ms"])
+    # Schema v3: steady-state exit rate reaggregated from warm-up-excluded
+    # timeline windows — gates on the windowed shape, not just the aggregate.
+    for name, point in report.get("throughput", {}).items():
+        steady = point.get("timeline", {}).get("steady_state")
+        if steady and "exits_per_sec_total" in steady:
+            yield (f"steady[{name}].exits_per_sec", "lower",
+                   float(steady["exits_per_sec_total"]))
 
 
 def compare(
@@ -131,6 +138,12 @@ def main(argv=None) -> int:
                     f"events_per_sec_wall: {cur_rate:,.0f} is {ratio:.2f}x baseline "
                     f"(required >= {args.gate_events_rate:.2f}x)"
                 )
+    violations = current.get("watchdog_violations", 0)
+    if violations:
+        regressions.append(
+            f"watchdog_violations: {violations} conservation-law violation(s) "
+            "in the current report (expected 0)"
+        )
     if regressions:
         print(f"\n{len(regressions)} regression(s) beyond threshold:", file=sys.stderr)
         for r in regressions:

@@ -1,0 +1,20 @@
+#!/usr/bin/env python
+"""Render the self-contained HTML bench dashboard.
+
+Thin wrapper over ``python -m repro dashboard`` for environments that
+invoke scripts by path (CI steps, cron); all logic lives in
+:mod:`repro.obs.dashcli` / :mod:`repro.obs.dashboard` so the CLI and
+this script cannot drift.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.obs.dashcli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,13 +1,16 @@
 #!/usr/bin/env python
-"""CI determinism guard: serial, parallel, and wheel-backend runs must agree.
+"""CI determinism guard: serial, parallel, wheel, and timeline runs must agree.
 
-Runs one fixed-seed Fig.-4 point set three ways — serially, with
-``--jobs 2``, and serially under the timing-wheel event-queue backend
-(``REPRO_QUEUE_BACKEND=wheel``) — serializes each result list to canonical
-JSON, and fails (exit 1) if any pair differs by a single byte.  This is
-the executable form of two contracts: worker scheduling must never
-influence results (``repro.parallel.sweep``), and both event-queue
-backends must produce the exact same firing order (``repro.sim.wheel``).
+Runs one fixed-seed Fig.-4 point set four ways — serially, with
+``--jobs 2``, serially under the timing-wheel event-queue backend
+(``REPRO_QUEUE_BACKEND=wheel``), and serially with windowed telemetry +
+invariant watchdog enabled (``REPRO_TIMELINE=1``) — serializes each
+result list to canonical JSON, and fails (exit 1) if any pair differs by
+a single byte.  This is the executable form of three contracts: worker
+scheduling must never influence results (``repro.parallel.sweep``), both
+event-queue backends must produce the exact same firing order
+(``repro.sim.wheel``), and the timeline sampler is an observer whose
+boundary events never perturb simulated metrics (``repro.obs.timeline``).
 """
 
 from __future__ import annotations
@@ -61,8 +64,21 @@ def main() -> int:
     if serial != wheel:
         _diff("heap", serial, "wheel", wheel)
         return 1
+    prev_timeline = os.environ.get("REPRO_TIMELINE")
+    os.environ["REPRO_TIMELINE"] = "1"
+    try:
+        timeline = _canonical_json(run_fig4("udp", jobs=1, **kwargs))
+    finally:
+        if prev_timeline is None:
+            del os.environ["REPRO_TIMELINE"]
+        else:
+            os.environ["REPRO_TIMELINE"] = prev_timeline
+    if serial != timeline:
+        _diff("plain", serial, "timeline", timeline)
+        return 1
     print(f"determinism guard OK: fig4 udp seed={SEED} quotas={QUOTAS} "
-          "identical under jobs=1, jobs=2, and the wheel queue backend")
+          "identical under jobs=1, jobs=2, the wheel queue backend, "
+          "and with the timeline sampler enabled")
     return 0
 
 

@@ -96,6 +96,13 @@ def build_parser() -> argparse.ArgumentParser:
         add_help=False,
     )
 
+    # `repro dashboard` likewise owns its arguments (repro.obs.dashcli).
+    p = sub.add_parser(
+        "dashboard",
+        help="render the windowed-telemetry bench dashboard as one self-contained HTML file",
+        add_help=False,
+    )
+
     return parser
 
 
@@ -111,6 +118,10 @@ def main(argv=None) -> int:
         from repro.obs.tracecli import main as trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] == "dashboard":
+        from repro.obs.dashcli import main as dashboard_main
+
+        return dashboard_main(argv[1:])
     args = build_parser().parse_args(argv)
     warmup = args.warmup_ms * MS
     measure = args.measure_ms * MS

@@ -14,8 +14,12 @@ layouts cover all experiments:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.timeline import TimelineSampler
 
 from repro.config import CostModel, FeatureSet, SchedParams
 from repro.errors import ConfigError
@@ -168,6 +172,78 @@ class Testbed:
                     raise ConfigError(f"{vcpu.name}: boot without a guest context")
                 delay = rng.randrange(period) if stagger else 0
                 self.sim.schedule(delay, self.machine.spawn, vcpu)
+        # Opt-in hook so whole sweeps (determinism guard, experiment
+        # scripts) can turn on windowed telemetry without code changes —
+        # the observer contract guarantees identical simulated results.
+        if os.environ.get("REPRO_TIMELINE"):
+            self.enable_timeline()
+
+    def enable_timeline(
+        self,
+        window_ns: int = 100_000,
+        watchdog: bool = True,
+    ) -> "TimelineSampler":
+        """Turn on windowed telemetry with the standard gauge wiring.
+
+        Installs ``sim.obs.timeline`` (and, by default, the invariant
+        watchdog) via :meth:`Simulator.enable_timeline`, then wires the
+        testbed's topology into it:
+
+        * per-core runqueue depth (``host.runqueue.core<i>``);
+        * per-device virtio ring occupancy and tap-backlog length;
+        * hybrid TX handlers: current service mode (``1`` = polling) and
+          per-window notification/polling residency fractions;
+        * per-VM ES2 tracker online/offline list lengths;
+        * event-queue depth and event-pool occupancy.
+
+        The watchdog additionally gets every vhost-backed device's rings
+        and conservation counters, and each hybrid handler's residency
+        pair.  Safe to call once per testbed, any time after the VMs are
+        added (``boot`` calls it when ``REPRO_TIMELINE`` is set).
+        """
+        sim = self.sim
+        already = sim.obs.timeline is not None
+        tl = sim.enable_timeline(window_ns=window_ns, watchdog=watchdog)
+        if already:
+            return tl
+
+        machine = self.machine
+        for i in range(len(machine.cores)):
+            tl.add_gauge(f"host.runqueue.core{i}",
+                         lambda i=i: machine.runqueue_depths()[i])
+        tl.add_gauge("sim.event_queue", lambda: len(sim.queue))
+        tl.add_gauge("sim.event_pool", sim.queue.free_list_size)
+
+        wd = sim.obs.watchdog
+        for setup in self.vm_setups:
+            vm = setup.vm
+            tracker = self.es2.tracker
+            tl.add_gauge(f"es2.{vm.name}.online",
+                         lambda vm=vm: len(tracker.online_indices(vm)))
+            tl.add_gauge(f"es2.{vm.name}.offline",
+                         lambda vm=vm: len(tracker.offline_order(vm)))
+            if setup.is_sriov:
+                continue
+            device = setup.device
+            tl.add_gauge(f"virtio.{device.name}.txq", device.txq.__len__)
+            tl.add_gauge(f"virtio.{device.name}.rxq", device.rxq.__len__)
+            tl.add_gauge(f"virtio.{device.name}.backlog", device.backlog.__len__)
+            if wd is not None:
+                wd.add_device(device)
+            vhost = setup.vhost
+            if vhost is not None and vhost.hybrid:
+                h = vhost.tx_handler
+                base = f"vhost.{device.name}/tx"
+                tl.add_gauge(f"{base}.mode_polling",
+                             lambda h=h: 1.0 if h.service_mode_now == "polling" else 0.0)
+                ids = (f"{base}.residency.notification", f"{base}.residency.polling")
+                tl.add_residency(ids[0],
+                                 lambda now, h=h: h.mode_residency_ns(now)["notification"])
+                tl.add_residency(ids[1],
+                                 lambda now, h=h: h.mode_residency_ns(now)["polling"])
+                if wd is not None:
+                    wd.add_residency(base, ids)
+        return tl
 
     # ------------------------------------------------------------------ runs
     def run_for(self, duration_ns: int) -> None:

@@ -95,6 +95,15 @@ class Machine:
         to_core.on_ipi(vector, kind)
 
     # ------------------------------------------------------------ accounting
+    def runqueue_depths(self) -> List[int]:
+        """Per-core runnable thread counts, the running thread included.
+
+        Observability gauge (repro.obs.timeline): index ``i`` is the depth
+        of core ``i``'s CFS runqueue, counting the thread currently on the
+        core — a dedicated core running one vCPU reads 1, an idle core 0.
+        """
+        return [c.rq.nr_running(c.current) for c in self.cores]
+
     def total_core_time(self, elapsed: int) -> int:
         """Aggregate core-nanoseconds available over ``elapsed``."""
         return elapsed * len(self.cores)

@@ -135,6 +135,10 @@ class PacketPool:
         pkt._pooled = False
         return pkt
 
+    def occupancy(self) -> int:
+        """Total free packets currently pooled (observability gauge)."""
+        return sum(len(free) for free in self._free.values())
+
     def release(self, pkt: Packet) -> None:
         """Return a dead packet to its flow's free list."""
         if pkt._pooled:

@@ -17,6 +17,11 @@ through per-module ad-hoc counters:
   into critical-path trees (:func:`collect_traces`), aggregated by
   :mod:`repro.obs.pathreport` and exported to Chrome/Perfetto JSON by
   :mod:`repro.obs.export`.
+* :class:`TimelineSampler` / :mod:`repro.obs.timeline` — windowed
+  time-series sampling of the counter registry (rates, gauges, mode
+  residencies) on the simulated clock.
+* :class:`InvariantWatchdog` / :mod:`repro.obs.watchdog` — per-window
+  conservation-law cross-checks raising structured violations.
 * :mod:`repro.obs.bench` — the machine-readable benchmark pipeline that
   turns all of the above into a schema-versioned ``BENCH_<rev>.json``
   (imported lazily: it pulls in the experiment layer).
@@ -36,7 +41,9 @@ from repro.obs.export import export_spans_jsonl, perfetto_trace, write_perfetto
 from repro.obs.pathreport import build_path_report, format_path_report
 from repro.obs.profile import EventProfiler, ProfileEntry
 from repro.obs.spans import PathTrace, SpanRecorder, collect_traces, completed
+from repro.obs.timeline import TimelineSampler, WindowSample, downsample
 from repro.obs.tracebus import KIND_CATEGORY, TRACE_CATEGORIES, TraceBus, TraceEvent
+from repro.obs.watchdog import InvariantWatchdog, WatchdogError, WatchdogViolation
 
 __all__ = [
     "Observability",
@@ -51,6 +58,12 @@ __all__ = [
     "PathTrace",
     "collect_traces",
     "completed",
+    "TimelineSampler",
+    "WindowSample",
+    "downsample",
+    "InvariantWatchdog",
+    "WatchdogError",
+    "WatchdogViolation",
     "build_path_report",
     "format_path_report",
     "perfetto_trace",
@@ -71,3 +84,7 @@ class Observability:
         self.profiler: Optional[EventProfiler] = None
         #: per-request span recorder; installed by ``Simulator.enable_spans``
         self.spans: Optional[SpanRecorder] = None
+        #: windowed sampler; installed by ``Simulator.enable_timeline``
+        self.timeline: Optional[TimelineSampler] = None
+        #: invariant watchdog; installed alongside the timeline
+        self.watchdog: Optional[InvariantWatchdog] = None

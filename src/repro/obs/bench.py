@@ -52,7 +52,10 @@ __all__ = [
 
 #: Bump on any backwards-incompatible change to the report layout.
 #: v2: latency points gained ``path`` (stage attribution + cohorts).
-BENCH_SCHEMA_VERSION = 2
+#: v3: points gained ``timeline`` (downsampled windowed telemetry +
+#: steady-state aggregates + watchdog verdict); top-level ``profile``
+#: carries the run-loop sim-gap histograms.
+BENCH_SCHEMA_VERSION = 3
 
 #: Default windows — identical to ``tests/test_bench_smoke.py``.
 DEFAULT_WARMUP_NS = 20 * MS
@@ -78,12 +81,73 @@ def current_revision() -> str:
     return "dev"
 
 
+#: Downsampling cap for timeline windows embedded in the report — keeps
+#: the artifact diffable while preserving the steady-state shape.
+TIMELINE_EMBED_WINDOWS = 60
+
+
+def _slim_sample(sample) -> Dict[str, Any]:
+    """A window's dict form with all-zero rates elided (artifact size)."""
+    return {
+        "t_start": sample.t_start,
+        "t_end": sample.t_end,
+        "rates": {k: v for k, v in sorted(sample.rates.items()) if v},
+        "gauges": dict(sorted(sample.gauges.items())),
+    }
+
+
+def _timeline_block(tb, t_start: int, t_end: int,
+                    vm_name: Optional[str] = None) -> Dict[str, Any]:
+    """Summarize the testbed's timeline over ``[t_start, t_end]``.
+
+    Returns the downsampled steady-state windows, the aggregate
+    steady-state rates recomputed from summed deltas (so the figure is
+    exact, not a mean of window rates), and the watchdog verdict.  The
+    tested VM's total exit rate is surfaced as
+    ``steady_state.exits_per_sec_total`` — the cross-check target for the
+    dashboard and ``scripts/bench_compare.py``.
+    """
+    from repro.obs.timeline import downsample
+
+    tl = tb.sim.obs.timeline
+    wd = tb.sim.obs.watchdog
+    tl.stop()
+    steady = tl.window(t_start, t_end)
+    span_ns = t_end - t_start
+    deltas: Dict[str, int] = {}
+    for s in steady:
+        for key, value in s.deltas.items():
+            deltas[key] = deltas.get(key, 0) + value
+    scale = 1e9 / span_ns if span_ns > 0 else 0.0
+    vm_name = vm_name or tb.tested.vm.name
+    exit_prefix = f"kvm.vm.{vm_name}.exits."
+    exits_total = sum(v for k, v in deltas.items() if k.startswith(exit_prefix))
+    return {
+        "window_ns": tl.window_ns,
+        "windows_total": len(tl.samples),
+        "steady_windows": len(steady),
+        "steady_state": {
+            "t_start": t_start,
+            "t_end": t_end,
+            "exits_per_sec_total": exits_total * scale,
+            "rates": {k: v * scale for k, v in sorted(deltas.items()) if v},
+        },
+        "windows": [_slim_sample(s)
+                    for s in downsample(steady, TIMELINE_EMBED_WINDOWS)],
+        "watchdog": {
+            "windows_checked": wd.windows_checked if wd is not None else 0,
+            "violations": len(wd.violations) if wd is not None else 0,
+        },
+    }
+
+
 def _throughput_point(
     name: str, seed: int, warmup_ns: int, measure_ns: int, profile: bool,
     profile_top: int = 8,
 ) -> Dict[str, Any]:
     """One single-vCPU TCP-send configuration, measured through the obs layer."""
     tb = single_vcpu_testbed(paper_config(name, quota=4), seed=seed)
+    tb.enable_timeline()
     if profile:
         tb.sim.enable_profiling()
     wl = NetperfTcpSend(tb, tb.tested, n_streams=1, payload_size=1024)
@@ -95,6 +159,7 @@ def _throughput_point(
         "tig": run.tig,
         "exits_per_sec": {"total": run.total_exit_rate, **run.exit_rates.as_dict()},
         "counters": tb.sim.obs.counters.flat(),
+        "timeline": _timeline_block(tb, warmup_ns, warmup_ns + measure_ns),
         "sim": {
             "events_fired": tb.sim.events_fired,
             "wall_seconds": wall,
@@ -103,6 +168,7 @@ def _throughput_point(
     }
     if profile:
         point["profile_top"] = tb.sim.obs.profiler.summary(top=profile_top)
+        point["gap_histograms"] = tb.sim.obs.profiler.gap_histograms(top=profile_top)
     return point
 
 
@@ -138,6 +204,7 @@ def _latency_point(name: str, seed: int, duration_ns: int) -> Dict[str, Any]:
 
     tb = multiplexed_testbed(paper_config(name, quota=4), seed=seed)
     tb.sim.enable_spans()
+    tb.enable_timeline()
     wl = PingWorkload(tb, tb.tested, interval_ns=5 * MS)
     wl.start()
     tb.run_for(duration_ns)
@@ -150,6 +217,7 @@ def _latency_point(name: str, seed: int, duration_ns: int) -> Dict[str, Any]:
         "p99_ms": series.percentile_ms(99),
         "max_ms": series.max_ms(),
         "path": path,
+        "timeline": _timeline_block(tb, 0, duration_ns),
     }
 
 
@@ -177,6 +245,14 @@ def run_bench(
     }
     wall = time.perf_counter() - wall0
     total_events = sum(p["sim"]["events_fired"] for p in throughput.values())
+    gap_histograms = {
+        name: point.pop("gap_histograms")
+        for name, point in throughput.items() if "gap_histograms" in point
+    }
+    watchdog_violations = sum(
+        p["timeline"]["watchdog"]["violations"]
+        for p in (*throughput.values(), *latency.values())
+    )
     report: Dict[str, Any] = {
         "schema": {"name": "repro-bench", "version": BENCH_SCHEMA_VERSION},
         "revision": revision if revision is not None else current_revision(),
@@ -194,6 +270,8 @@ def run_bench(
         "throughput": throughput,
         "hybrid": hybrid,
         "latency_ms": latency,
+        "profile": {"gap_histograms": gap_histograms},
+        "watchdog_violations": watchdog_violations,
         "wall_seconds": wall,
         "events_per_sec_wall": total_events / wall if wall > 0 else 0.0,
     }
@@ -240,6 +318,9 @@ def format_bench(report: Dict[str, Any]) -> str:
             top = sorted(path["stages"].items(), key=lambda kv: kv[1]["share"], reverse=True)[:3]
             shares = ", ".join(f"{s} {v['share']:.0%}" for s, v in top)
             lines.append(f"           top stages: {shares}")
+    violations = report.get("watchdog_violations")
+    if violations is not None:
+        lines.append(f"  watchdog {violations} violation(s) across timeline-checked points")
     lines.append(
         f"  simulator {report['events_per_sec_wall']:,.0f} events/s wall "
         f"({report['wall_seconds']:.1f} s total)"

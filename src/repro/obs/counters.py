@@ -63,6 +63,9 @@ class CounterRegistry:
 
     def __init__(self) -> None:
         self._groups: Dict[str, object] = {}
+        #: bumped on any registration change; invalidates prefix caches
+        self._version = 0
+        self._prefix_cache: Dict[str, Tuple[str, ...]] = {}
 
     # ------------------------------------------------------------ registration
     def register(self, path: str, provider: object, names: Iterable[str]) -> None:
@@ -73,6 +76,7 @@ class CounterRegistry:
         counter sets before their own ``__init__`` body runs).
         """
         self._groups[path] = _AttrGroup(provider, tuple(names))
+        self._note_changed()
 
     def register_fn(
         self,
@@ -82,17 +86,33 @@ class CounterRegistry:
     ) -> None:
         """Declare a function-backed counter group under ``path``."""
         self._groups[path] = _FnGroup(snapshot_fn, reset_fn)
+        self._note_changed()
 
     def unregister(self, path: str) -> bool:
         """Drop one group; returns True if it existed."""
-        return self._groups.pop(path, None) is not None
+        existed = self._groups.pop(path, None) is not None
+        if existed:
+            self._note_changed()
+        return existed
 
     def unregister_prefix(self, prefix: str) -> int:
         """Drop every group whose path starts with ``prefix`` (VM teardown)."""
         doomed = [p for p in self._groups if p.startswith(prefix)]
         for path in doomed:
             del self._groups[path]
+        if doomed:
+            self._note_changed()
         return len(doomed)
+
+    def _note_changed(self) -> None:
+        self._version += 1
+        if self._prefix_cache:
+            self._prefix_cache.clear()
+
+    @property
+    def version(self) -> int:
+        """Monotonic registration-change counter (for caching consumers)."""
+        return self._version
 
     # ---------------------------------------------------------------- queries
     def paths(self):
@@ -108,6 +128,27 @@ class CounterRegistry:
     def snapshot(self) -> Dict[str, Dict[str, int]]:
         """``{path: {counter: value}}`` for every registered group."""
         return {path: group.snapshot() for path, group in sorted(self._groups.items())}
+
+    def snapshot_group(self, prefix: str) -> Dict[str, Dict[str, int]]:
+        """``{path: {counter: value}}`` for groups matching ``prefix``.
+
+        A group matches on an exact path, or when its path extends the
+        prefix at a ``.`` or ``/`` boundary (``"kvm.vm"`` matches
+        ``"kvm.vm.tested.exits"`` but not ``"kvm.vmx"``).  The matching
+        path set is cached per prefix and invalidated on registration
+        changes, so a periodic sampler pays O(matched groups) per call —
+        not a full-registry walk — in steady state.
+        """
+        paths = self._prefix_cache.get(prefix)
+        if paths is None:
+            boundary = (prefix + ".", prefix + "/")
+            paths = tuple(sorted(
+                p for p in self._groups
+                if p == prefix or p.startswith(boundary)
+            ))
+            self._prefix_cache[prefix] = paths
+        groups = self._groups
+        return {path: groups[path].snapshot() for path in paths}
 
     def flat(self) -> Dict[str, int]:
         """``{"path.counter": value}`` — the machine-diffable form."""

@@ -1,0 +1,546 @@
+"""Self-contained HTML dashboard for a schema-v3 bench report.
+
+``render_dashboard`` turns one ``BENCH_<rev>.json`` document (see
+:mod:`repro.obs.bench`) into a single HTML file with **zero external
+resources** — styles inline, charts as inline SVG, interactivity as a
+small inline script — so the artifact can be archived next to the JSON,
+attached to CI runs, and opened anywhere, offline, forever.
+
+Content:
+
+* headline stat tiles (throughput, I/O-exit reduction, ping p50/p99,
+  watchdog verdict);
+* per-configuration windowed exit-rate charts from the embedded
+  timeline, with a cross-check table proving the windowed series
+  reaggregates to the bench's steady-state figure;
+* network-rate, gauge, and hybrid mode-residency charts;
+* the per-stage event-path attribution table
+  (:mod:`repro.obs.pathreport` output embedded in the report);
+* the run-loop sim-gap histograms (``profile.gap_histograms``).
+
+Charts follow the repo's chart conventions: a categorical palette
+validated for color-vision deficiency (in both light and dark mode),
+2 px lines, one y-axis per chart, legends plus per-group summary tables
+(so identity and exact values never rely on color alone), and a
+crosshair tooltip driven by inline data.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["render_dashboard", "write_dashboard"]
+
+# Categorical palettes (8 slots, fixed order, never cycled) validated with
+# the six-check palette validator against each mode's surface; dark mode is
+# its own selection, not an automatic flip of the light one.
+_LIGHT_SERIES = ("#2a78d6", "#eb6834", "#1baf7a", "#eda100",
+                 "#e87ba4", "#008300", "#4a3aa7", "#e34948")
+_DARK_SERIES = ("#3987e5", "#d95926", "#199e70", "#c98500",
+                "#d55181", "#008300", "#9085e9", "#e66767")
+
+_CHART_W = 660
+_CHART_H = 200
+_PAD_L = 62
+_PAD_R = 14
+_PAD_T = 12
+_PAD_B = 26
+#: Max series per chart — the palette has 8 fixed slots.
+MAX_SERIES = 8
+
+
+def _css() -> str:
+    light_vars = "".join(f"--s{i}: {c};" for i, c in enumerate(_LIGHT_SERIES))
+    dark_vars = "".join(f"--s{i}: {c};" for i, c in enumerate(_DARK_SERIES))
+    return f"""
+:root {{
+  --surface: #fcfcfb; --ink: #0b0b0b; --ink-2: #52514e; --ink-3: #898781;
+  --grid: #e1e0d9; --axis: #c3c2b7; --card: #ffffff; --edge: #e1e0d9;
+  {light_vars}
+}}
+@media (prefers-color-scheme: dark) {{
+  :root {{
+    --surface: #1a1a19; --ink: #ffffff; --ink-2: #c3c2b7; --ink-3: #898781;
+    --grid: #2c2c2a; --axis: #383835; --card: #222221; --edge: #2c2c2a;
+    {dark_vars}
+  }}
+}}
+* {{ box-sizing: border-box; }}
+body {{
+  margin: 0; padding: 24px; background: var(--surface); color: var(--ink);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}}
+h1 {{ font-size: 20px; margin: 0 0 4px; }}
+h2 {{ font-size: 16px; margin: 28px 0 10px; }}
+.sub {{ color: var(--ink-2); margin: 0 0 18px; }}
+.tiles {{ display: flex; flex-wrap: wrap; gap: 12px; margin: 16px 0; }}
+.tile {{
+  background: var(--card); border: 1px solid var(--edge); border-radius: 8px;
+  padding: 12px 16px; min-width: 150px;
+}}
+.tile .v {{ font-size: 22px; font-weight: 600; font-variant-numeric: tabular-nums; }}
+.tile .l {{ color: var(--ink-2); font-size: 12px; }}
+.card {{
+  background: var(--card); border: 1px solid var(--edge); border-radius: 8px;
+  padding: 14px 16px; margin: 0 0 16px;
+}}
+.chart-title {{ font-weight: 600; margin-bottom: 2px; }}
+.chart-unit {{ color: var(--ink-2); font-size: 12px; margin-bottom: 6px; }}
+svg.chart {{ display: block; }}
+.gridline {{ stroke: var(--grid); stroke-width: 1; }}
+.axisline {{ stroke: var(--axis); stroke-width: 1; }}
+.ticktext {{ fill: var(--ink-2); font-size: 11px; }}
+.series {{ fill: none; stroke-width: 2; }}
+.legend {{ display: flex; flex-wrap: wrap; gap: 4px 16px; margin-top: 6px; font-size: 12px; color: var(--ink-2); }}
+.legend .sw {{
+  display: inline-block; width: 10px; height: 10px; border-radius: 2px;
+  margin-right: 5px; vertical-align: -1px;
+}}
+table {{ border-collapse: collapse; font-size: 13px; margin-top: 8px; }}
+th, td {{
+  text-align: left; padding: 4px 12px 4px 0; border-bottom: 1px solid var(--edge);
+}}
+td.num, th.num {{ text-align: right; font-variant-numeric: tabular-nums; }}
+th {{ color: var(--ink-2); font-weight: 600; }}
+.ok {{ font-weight: 600; }}
+.note {{ color: var(--ink-3); font-size: 12px; }}
+#tooltip {{
+  position: fixed; display: none; pointer-events: none; z-index: 10;
+  background: var(--card); border: 1px solid var(--axis); border-radius: 6px;
+  padding: 6px 9px; font-size: 12px; box-shadow: 0 2px 8px rgba(0,0,0,.18);
+  max-width: 340px;
+}}
+#tooltip .t {{ color: var(--ink-2); margin-bottom: 2px; }}
+#tooltip .row {{ white-space: nowrap; }}
+.crosshair {{ stroke: var(--axis); stroke-width: 1; stroke-dasharray: 3 3; }}
+details summary {{ cursor: pointer; color: var(--ink-2); font-size: 12px; margin-top: 6px; }}
+"""
+
+
+def _tooltip_js() -> str:
+    # Crosshair + tooltip for every .chartbox: nearest-time lookup against
+    # the JSON embedded beside each chart.  Plain DOM, no dependencies.
+    return """
+(function () {
+  var tip = document.getElementById('tooltip');
+  document.querySelectorAll('.chartbox').forEach(function (box) {
+    var svg = box.querySelector('svg.chart');
+    var dataEl = box.querySelector('script[type="application/json"]');
+    if (!svg || !dataEl) return;
+    var data = JSON.parse(dataEl.textContent);
+    var cross = svg.querySelector('.crosshair');
+    function hide() { tip.style.display = 'none'; if (cross) cross.setAttribute('opacity', 0); }
+    svg.addEventListener('mouseleave', hide);
+    svg.addEventListener('mousemove', function (ev) {
+      var rect = svg.getBoundingClientRect();
+      var fx = (ev.clientX - rect.left) * (data.w / rect.width);
+      if (fx < data.x0 || fx > data.x1 || !data.t.length) { hide(); return; }
+      var frac = (fx - data.x0) / (data.x1 - data.x0);
+      var tv = data.tmin + frac * (data.tmax - data.tmin);
+      var best = 0, bestd = Infinity;
+      data.t.forEach(function (t, i) {
+        var d = Math.abs(t - tv);
+        if (d < bestd) { bestd = d; best = i; }
+      });
+      var px = data.x0 + (data.t[best] - data.tmin) / ((data.tmax - data.tmin) || 1) * (data.x1 - data.x0);
+      if (cross) {
+        cross.setAttribute('x1', px); cross.setAttribute('x2', px);
+        cross.setAttribute('opacity', 1);
+      }
+      var rows = '<div class="t">t = ' + data.t[best].toFixed(2) + ' ms</div>';
+      data.series.forEach(function (s) {
+        var v = s.v[best];
+        if (v === null || v === undefined) return;
+        rows += '<div class="row"><span class="sw" style="background:var(--s' + s.c +
+                ')"></span>' + s.n + ': <b>' + Number(v.toPrecision(4)) + '</b></div>';
+      });
+      tip.innerHTML = rows;
+      tip.style.display = 'block';
+      var x = ev.clientX + 14, y = ev.clientY + 14;
+      if (x + tip.offsetWidth > window.innerWidth - 8) x = ev.clientX - tip.offsetWidth - 10;
+      if (y + tip.offsetHeight > window.innerHeight - 8) y = ev.clientY - tip.offsetHeight - 10;
+      tip.style.left = x + 'px'; tip.style.top = y + 'px';
+    });
+  });
+})();
+"""
+
+
+# ------------------------------------------------------------------ utilities
+def _esc(s: Any) -> str:
+    return html.escape(str(s), quote=True)
+
+
+def _fmt(v: Optional[float]) -> str:
+    """Human-scale number for tables and tiles."""
+    if v is None:
+        return "–"
+    a = abs(v)
+    if a >= 1e9:
+        return f"{v / 1e9:.2f}G"
+    if a >= 1e6:
+        return f"{v / 1e6:.2f}M"
+    if a >= 1e4:
+        return f"{v / 1e3:.1f}k"
+    if a >= 100:
+        return f"{v:,.0f}"
+    if a >= 1:
+        return f"{v:.2f}"
+    if a == 0:
+        return "0"
+    return f"{v:.3g}"
+
+
+Series = Tuple[str, List[Tuple[float, Optional[float]]]]
+
+
+def _series_from_windows(windows: Sequence[Dict[str, Any]], metric_ids: Sequence[str],
+                         kind: str = "rates") -> List[Series]:
+    """Per-metric ``(t_end_ms, value)`` series from embedded slim windows."""
+    out: List[Series] = []
+    for mid in metric_ids:
+        pts: List[Tuple[float, Optional[float]]] = []
+        for w in windows:
+            value = w.get(kind, {}).get(mid)
+            if kind == "rates" and value is None:
+                value = 0.0  # slim windows elide zero rates
+            pts.append((w["t_end"] / 1e6, value))
+        out.append((mid, pts))
+    return out
+
+
+def _collect_ids(windows: Sequence[Dict[str, Any]], kind: str) -> List[str]:
+    ids: set = set()
+    for w in windows:
+        ids.update(w.get(kind, {}))
+    return sorted(ids)
+
+
+def _top_series(series: List[Series], limit: int = MAX_SERIES) -> Tuple[List[Series], int]:
+    """Keep the ``limit`` largest series by total magnitude (palette size)."""
+    if len(series) <= limit:
+        return series, 0
+    ranked = sorted(series, key=lambda s: -sum(abs(v) for _, v in s[1] if v))
+    kept = [s for s in series if s in ranked[:limit]]  # preserve stable order
+    return kept, len(series) - limit
+
+
+# ------------------------------------------------------------------ the chart
+def _line_chart(chart_id: str, title: str, unit: str, series: List[Series],
+                dropped: int = 0, note: str = "") -> str:
+    """One inline-SVG line chart card: title, plot, legend, summary table."""
+    series = [s for s in series if s[1]]
+    if not series or all(all(v is None for _, v in pts) for _, pts in series):
+        return ""
+    ts = sorted({t for _, pts in series for t, _ in pts})
+    tmin, tmax = ts[0], ts[-1]
+    values = [v for _, pts in series for _, v in pts if v is not None]
+    vmax = max(values + [0.0])
+    vmin = min(values + [0.0])
+    if vmax == vmin:
+        vmax = vmin + 1.0
+    span = vmax - vmin
+    vmax += span * 0.05
+    x0, x1 = _PAD_L, _CHART_W - _PAD_R
+    y0, y1 = _CHART_H - _PAD_B, _PAD_T
+
+    def sx(t: float) -> float:
+        if tmax == tmin:
+            return (x0 + x1) / 2
+        return x0 + (t - tmin) / (tmax - tmin) * (x1 - x0)
+
+    def sy(v: float) -> float:
+        return y0 + (v - vmin) / (vmax - vmin) * (y1 - y0)
+
+    parts: List[str] = [
+        f'<svg class="chart" viewBox="0 0 {_CHART_W} {_CHART_H}" '
+        f'width="{_CHART_W}" height="{_CHART_H}" role="img" '
+        f'aria-label="{_esc(title)}">'
+    ]
+    # horizontal gridlines + y tick labels (4 steps)
+    for i in range(5):
+        v = vmin + (vmax - vmin) * i / 4
+        y = sy(v)
+        cls = "axisline" if i == 0 else "gridline"
+        parts.append(f'<line class="{cls}" x1="{x0}" y1="{y:.1f}" x2="{x1}" y2="{y:.1f}"/>')
+        parts.append(f'<text class="ticktext" x="{x0 - 6}" y="{y + 3.5:.1f}" '
+                     f'text-anchor="end">{_esc(_fmt(v))}</text>')
+    # x tick labels: start / middle / end (ms)
+    for t in (tmin, (tmin + tmax) / 2, tmax):
+        parts.append(f'<text class="ticktext" x="{sx(t):.1f}" y="{y0 + 16}" '
+                     f'text-anchor="middle">{t:.1f}</text>')
+    parts.append(f'<text class="ticktext" x="{x1}" y="{y0 + 16}" text-anchor="start"> ms</text>')
+    for i, (label, pts) in enumerate(series):
+        coords = " ".join(
+            f"{sx(t):.1f},{sy(v):.1f}" for t, v in pts if v is not None
+        )
+        if coords:
+            parts.append(f'<polyline class="series" stroke="var(--s{i % MAX_SERIES})" '
+                         f'points="{coords}"><title>{_esc(label)}</title></polyline>')
+    parts.append(f'<line class="crosshair" x1="{x0}" y1="{y1}" x2="{x0}" y2="{y0}" opacity="0"/>')
+    parts.append("</svg>")
+
+    # tooltip payload: shared time base + per-series values aligned to it
+    payload = {
+        "w": _CHART_W, "x0": x0, "x1": x1, "tmin": tmin, "tmax": tmax,
+        "t": [round(t, 4) for t in ts],
+        "series": [
+            {
+                "n": label, "c": i % MAX_SERIES,
+                "v": [dict(pts).get(t) for t in ts],
+            }
+            for i, (label, pts) in enumerate(series)
+        ],
+    }
+
+    legend = "".join(
+        f'<span><span class="sw" style="background: var(--s{i % MAX_SERIES})"></span>'
+        f"{_esc(label)}</span>"
+        for i, (label, pts) in enumerate(series)
+    )
+    rows = []
+    for label, pts in series:
+        vals = [v for _, v in pts if v is not None]
+        if not vals:
+            continue
+        rows.append(
+            f"<tr><td>{_esc(label)}</td>"
+            f'<td class="num">{_esc(_fmt(min(vals)))}</td>'
+            f'<td class="num">{_esc(_fmt(sum(vals) / len(vals)))}</td>'
+            f'<td class="num">{_esc(_fmt(max(vals)))}</td></tr>'
+        )
+    table = (
+        "<details><summary>table view</summary><table>"
+        '<tr><th>series</th><th class="num">min</th><th class="num">mean</th>'
+        '<th class="num">max</th></tr>' + "".join(rows) + "</table></details>"
+    )
+    extra = ""
+    if dropped:
+        extra += f'<div class="note">{dropped} additional series omitted (largest kept)</div>'
+    if note:
+        extra += f'<div class="note">{_esc(note)}</div>'
+    return (
+        f'<div class="card chartbox" id="{_esc(chart_id)}">'
+        f'<div class="chart-title">{_esc(title)}</div>'
+        f'<div class="chart-unit">{_esc(unit)}</div>'
+        + "".join(parts)
+        + f'<div class="legend">{legend}</div>'
+        + table + extra
+        + '<script type="application/json">'
+        + json.dumps(payload, allow_nan=False)
+        + "</script></div>"
+    )
+
+
+# ----------------------------------------------------------------- sections
+def _tiles(report: Dict[str, Any]) -> str:
+    tiles = []
+    for name, point in report.get("throughput", {}).items():
+        tiles.append((f"{name} throughput", f"{point['throughput_gbps']:.3f} Gbps"))
+    hybrid = report.get("hybrid", {})
+    factor = hybrid.get("io_exit_reduction_factor")
+    if "quota8" in hybrid:
+        tiles.append(("I/O exits at quota 8",
+                      "eliminated" if factor is None else f"{factor:.0f}× fewer"))
+    for name, point in report.get("latency_ms", {}).items():
+        tiles.append((f"{name} ping p99", f"{point['p99_ms']:.3f} ms"))
+    violations = report.get("watchdog_violations", 0)
+    tiles.append(("watchdog", "✓ 0 violations" if violations == 0
+                  else f"✗ {violations} violations"))
+    return '<div class="tiles">' + "".join(
+        f'<div class="tile"><div class="v">{_esc(v)}</div>'
+        f'<div class="l">{_esc(label)}</div></div>'
+        for label, v in tiles
+    ) + "</div>"
+
+
+def steady_state_window_rate(point: Dict[str, Any]) -> Optional[float]:
+    """Reaggregate the tested VM's total exit rate from embedded windows.
+
+    Window rates weighted by window length reproduce the true average
+    over the steady-state span; used by the cross-check table (and the
+    test suite) to confirm the windowed series agrees with the bench
+    aggregate within 1%.
+    """
+    tl = point.get("timeline")
+    if not tl or not tl.get("windows"):
+        return None
+    total_ns = 0
+    weighted = 0.0
+    for w in tl["windows"]:
+        span = w["t_end"] - w["t_start"]
+        rate = sum(v for k, v in w.get("rates", {}).items()
+                   if ".exits." in k and k.startswith("kvm.vm."))
+        weighted += rate * span
+        total_ns += span
+    return weighted / total_ns if total_ns else None
+
+
+def _crosscheck_table(report: Dict[str, Any]) -> str:
+    rows = []
+    for name, point in report.get("throughput", {}).items():
+        agg = point.get("exits_per_sec", {}).get("total")
+        windowed = steady_state_window_rate(point)
+        if agg is None or windowed is None:
+            continue
+        diff = abs(windowed - agg) / agg * 100 if agg else 0.0
+        rows.append(
+            f"<tr><td>{_esc(name)}</td>"
+            f'<td class="num">{_esc(_fmt(agg))}</td>'
+            f'<td class="num">{_esc(_fmt(windowed))}</td>'
+            f'<td class="num">{diff:.3f}%</td></tr>'
+        )
+    if not rows:
+        return ""
+    return (
+        '<div class="card"><div class="chart-title">Steady-state cross-check</div>'
+        '<div class="chart-unit">bench aggregate vs reaggregated timeline windows '
+        "(tested VM, exits/s)</div><table>"
+        '<tr><th>config</th><th class="num">aggregate</th>'
+        '<th class="num">windowed</th><th class="num">diff</th></tr>'
+        + "".join(rows) + "</table></div>"
+    )
+
+
+def _timeline_sections(report: Dict[str, Any]) -> str:
+    out: List[str] = []
+    for name, point in report.get("throughput", {}).items():
+        windows = point.get("timeline", {}).get("windows", [])
+        if not windows:
+            continue
+        rate_ids = _collect_ids(windows, "rates")
+        exit_ids = [k for k in rate_ids if k.startswith("kvm.exits.")]
+        series, dropped = _top_series(_series_from_windows(windows, exit_ids))
+        out.append(_line_chart(f"exits-{name}", f"{name}: VM exits by reason",
+                               "exits/s over steady-state windows", series, dropped))
+        net_ids = [k for k in rate_ids
+                   if k.endswith(".packets") or k.endswith(".tx_wire_packets")
+                   or k.endswith(".tap_enqueued")]
+        series, dropped = _top_series(_series_from_windows(windows, net_ids))
+        out.append(_line_chart(f"net-{name}", f"{name}: network rates",
+                               "packets/s over steady-state windows", series, dropped))
+        gauge_ids = _collect_ids(windows, "gauges")
+        queue_ids = [k for k in gauge_ids
+                     if k.startswith(("host.runqueue.", "sim.", "virtio."))]
+        series, dropped = _top_series(
+            _series_from_windows(windows, queue_ids, kind="gauges"))
+        out.append(_line_chart(f"gauges-{name}", f"{name}: occupancy gauges",
+                               "depth / occupancy at window boundaries", series, dropped))
+    for name, point in report.get("latency_ms", {}).items():
+        windows = point.get("timeline", {}).get("windows", [])
+        if not windows:
+            continue
+        gauge_ids = _collect_ids(windows, "gauges")
+        res_ids = [k for k in gauge_ids if ".residency." in k]
+        if res_ids:
+            series, dropped = _top_series(
+                _series_from_windows(windows, res_ids, kind="gauges"))
+            out.append(_line_chart(
+                f"residency-{name}", f"{name}: hybrid mode residency",
+                "fraction of each window per Algorithm-1 mode", series, dropped,
+                note="notification + polling fractions sum to 1 per handler "
+                     "(watchdog-checked)"))
+        irq_ids = [k for k in _collect_ids(windows, "rates")
+                   if k.endswith(".interrupts_handled") or k.startswith("kvm.router.")]
+        series, dropped = _top_series(_series_from_windows(windows, irq_ids))
+        out.append(_line_chart(f"irq-{name}", f"{name}: interrupt delivery",
+                               "events/s", series, dropped))
+    return "".join(s for s in out if s)
+
+
+def _path_table(report: Dict[str, Any]) -> str:
+    out = []
+    for name, point in report.get("latency_ms", {}).items():
+        path = point.get("path")
+        if not path or not path.get("stages"):
+            continue
+        stages = sorted(path["stages"].items(), key=lambda kv: -kv[1]["share"])
+        rows = "".join(
+            f"<tr><td>{_esc(stage)}</td>"
+            f'<td class="num">{v["share"] * 100:.1f}%</td>'
+            f'<td class="num">{v["mean_us"]:.2f}</td>'
+            f'<td class="num">{v["p99_us"]:.2f}</td></tr>'
+            for stage, v in stages
+        )
+        counts = path.get("counts", {})
+        out.append(
+            f'<div class="card"><div class="chart-title">{_esc(name)}: '
+            "event-path stage attribution</div>"
+            f'<div class="chart-unit">{counts.get("complete", 0)} complete paths; '
+            "share of end-to-end RTT per stage</div><table>"
+            '<tr><th>stage</th><th class="num">share</th>'
+            '<th class="num">mean µs</th><th class="num">p99 µs</th></tr>'
+            + rows + "</table></div>"
+        )
+    return "".join(out)
+
+
+def _gap_histograms(report: Dict[str, Any]) -> str:
+    hists = report.get("profile", {}).get("gap_histograms", {})
+    out = []
+    for config, entries in hists.items():
+        rows = "".join(
+            f"<tr><td>{_esc(key)}</td>"
+            f'<td class="num">{entry["count"]:,}</td>'
+            f'<td class="num">{entry["mean_ns"]:,.0f}</td>'
+            f'<td class="num">{entry["p99_bound_ns"]:,.0f}</td></tr>'
+            for key, entry in entries.items()
+        )
+        if not rows:
+            continue
+        out.append(
+            f'<div class="card"><div class="chart-title">{_esc(config)}: '
+            "simulated-time gaps by event type</div>"
+            '<div class="chart-unit">time between consecutive firings of each '
+            "event type (run-loop profiler)</div><table>"
+            '<tr><th>event type</th><th class="num">count</th>'
+            '<th class="num">mean ns</th><th class="num">p99 ≤ ns</th></tr>'
+            + rows + "</table></div>"
+        )
+    return "".join(out)
+
+
+# --------------------------------------------------------------------- entry
+def render_dashboard(report: Dict[str, Any]) -> str:
+    """The complete dashboard document for one bench report."""
+    rev = report.get("revision", "?")
+    params = report.get("params", {})
+    schema = report.get("schema", {})
+    sub = (f"revision {rev} · schema v{schema.get('version', '?')} · "
+           f"seed {params.get('seed', '?')} · "
+           f"measure {params.get('measure_ns', 0) / 1e6:.0f} ms · "
+           f"window {next(iter(report.get('throughput', {}).values()), {}).get('timeline', {}).get('window_ns', 0) / 1e3:.0f} µs")
+    body = (
+        f"<h1>ES2 reproduction — bench dashboard</h1>"
+        f'<p class="sub">{_esc(sub)}</p>'
+        + _tiles(report)
+        + "<h2>Windowed telemetry</h2>"
+        + _crosscheck_table(report)
+        + _timeline_sections(report)
+        + "<h2>Event-path attribution</h2>"
+        + _path_table(report)
+        + "<h2>Simulator profile</h2>"
+        + _gap_histograms(report)
+        + '<div id="tooltip"></div>'
+    )
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        '<meta name="viewport" content="width=device-width, initial-scale=1">\n'
+        f"<title>ES2 bench dashboard — {_esc(rev)}</title>\n"
+        f"<style>{_css()}</style>\n"
+        "</head><body>\n"
+        + body
+        + f"\n<script>{_tooltip_js()}</script>\n"
+        "</body></html>\n"
+    )
+
+
+def write_dashboard(report: Dict[str, Any], path: str) -> str:
+    """Render and write the dashboard; returns ``path``."""
+    doc = render_dashboard(report)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(doc)
+    return path

@@ -12,7 +12,11 @@ in ``ui.perfetto.dev`` or ``chrome://tracing``:
   intervals (``sched-in`` → ``sched-out``) and instant markers for
   redirected interrupt deliveries;
 * process "vhost" — instant markers for Algorithm 1's polling →
-  notification mode switches, one track per handler.
+  notification mode switches, one track per handler;
+* process "timeline" — Perfetto counter tracks (``ph: "C"``), one per
+  windowed metric from a :class:`~repro.obs.timeline.TimelineSampler`
+  (rates and gauges alike), so the windowed telemetry renders as stacked
+  counter strips above the causal spans.
 
 Timestamps are microseconds (the trace-event unit) as floats, preserving
 the simulator's nanosecond resolution.
@@ -32,6 +36,7 @@ __all__ = ["perfetto_trace", "write_perfetto", "export_spans_jsonl"]
 PID_PATH = 1
 PID_SCHED = 2
 PID_VHOST = 3
+PID_TIMELINE = 4
 
 
 def _meta(pid: int, name: str, tid: Optional[int] = None) -> Dict[str, Any]:
@@ -186,12 +191,50 @@ def _mode_switch_events(bus) -> List[Dict[str, Any]]:
     return events
 
 
-def perfetto_trace(traces: Iterable[PathTrace], bus=None) -> Dict[str, Any]:
+def _timeline_events(timeline, max_tracks: int = 64) -> List[Dict[str, Any]]:
+    """Counter tracks (``ph: "C"``) from a TimelineSampler's samples.
+
+    Only metrics with at least one nonzero value get a track (a flat zero
+    line is noise in the UI); ``max_tracks`` bounds the document size,
+    preferring rate metrics in sorted order, then gauges.
+    """
+    samples = timeline.samples
+    if not samples:
+        return []
+    active: List[str] = []
+    for mid in timeline.metric_ids():
+        if any(s.rates.get(mid) or s.gauges.get(mid) for s in samples):
+            active.append(mid)
+        if len(active) >= max_tracks:
+            break
+    events: List[Dict[str, Any]] = [_meta(PID_TIMELINE, "timeline")]
+    for s in samples:
+        ts = _us(s.t_end)
+        for mid in active:
+            value = s.rates.get(mid)
+            if value is None:
+                value = s.gauges.get(mid)
+            if value is None:
+                continue
+            events.append({
+                "name": mid,
+                "cat": "timeline",
+                "ph": "C",
+                "ts": ts,
+                "pid": PID_TIMELINE,
+                "args": {"value": value},
+            })
+    return events
+
+
+def perfetto_trace(traces: Iterable[PathTrace], bus=None, timeline=None) -> Dict[str, Any]:
     """Build the Chrome ``trace_event`` document (JSON-object flavour)."""
     events = _path_events(traces)
     if bus is not None:
         events.extend(_sched_events(bus))
         events.extend(_mode_switch_events(bus))
+    if timeline is not None:
+        events.extend(_timeline_events(timeline))
     return {
         "traceEvents": events,
         "displayTimeUnit": "ns",
@@ -199,9 +242,10 @@ def perfetto_trace(traces: Iterable[PathTrace], bus=None) -> Dict[str, Any]:
     }
 
 
-def write_perfetto(traces: Iterable[PathTrace], path: str, bus=None) -> Dict[str, Any]:
+def write_perfetto(traces: Iterable[PathTrace], path: str, bus=None,
+                   timeline=None) -> Dict[str, Any]:
     """Serialize :func:`perfetto_trace` to ``path``; returns the document."""
-    doc = perfetto_trace(traces, bus=bus)
+    doc = perfetto_trace(traces, bus=bus, timeline=timeline)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(doc, fh, indent=1, sort_keys=True, allow_nan=False)
         fh.write("\n")

@@ -188,6 +188,30 @@ class EventProfiler:
             entries = entries[:top]
         return {e.key: e.as_dict() for e in entries}
 
+    def gap_histograms(self, top: int = 0) -> Dict[str, Dict[str, Any]]:
+        """Per-event-type simulated-time inter-arrival histograms.
+
+        ``{event-type: {mean_ns, p99_bound_ns, hist}}`` with the
+        power-of-two bucket rows under ``hist``; ordered by event count
+        (the busiest types first, all if ``top`` <= 0).  This is the view
+        the bench report exports under ``profile.gap_histograms``: the
+        wall-time profile says where the *host* CPU goes, the gap
+        histograms say what the event mix looks like on the *simulated*
+        clock.
+        """
+        entries = sorted(self._entries.values(), key=lambda e: -e.wall.count)
+        if top > 0:
+            entries = entries[:top]
+        return {
+            e.key: {
+                "count": e.sim_gap.count,
+                "mean_ns": e.sim_gap.mean,
+                "p99_bound_ns": e.sim_gap_hist.percentile_bound(99),
+                "hist": e.sim_gap_hist.as_dict(),
+            }
+            for e in entries
+        }
+
     def clear(self) -> None:
         """Drop all profile state."""
         self._entries.clear()

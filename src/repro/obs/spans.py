@@ -278,6 +278,10 @@ class SpanRecorder:
         self.requested = 0
         #: contexts actually allocated (== traces started)
         self.allocated = 0
+        #: cumulative marks emitted per milestone point — unlike the ring,
+        #: these survive eviction, so consistency checks against data-path
+        #: counters (repro.obs.watchdog) have an exact mark-side count
+        self.point_counts: Dict[str, int] = {}
         self._next_ctx = 1
         #: (vm_id, vector) -> {ctx: set(points already marked this episode)}
         self._irq_waiters: Dict[Tuple[int, int], Dict[int, set]] = {}
@@ -296,16 +300,22 @@ class SpanRecorder:
         ctx = self._next_ctx
         self._next_ctx += 1
         self.allocated += 1
+        counts = self.point_counts
+        counts["origin"] = counts.get("origin", 0) + 1
         # "req" not "kind": the bus's record() owns the ``kind`` keyword.
         self.bus.record(t, SPAN_MARK_KIND, ctx=ctx, point="origin", req=kind, **attrs)
         return ctx
 
     def mark(self, t: int, ctx: int, point: str, **attrs: Any) -> None:
         """Record one milestone for a live context."""
+        counts = self.point_counts
+        counts[point] = counts.get(point, 0) + 1
         self.bus.record(t, SPAN_MARK_KIND, ctx=ctx, point=point, **attrs)
 
     def drop(self, t: int, ctx: int, reason: str, **attrs: Any) -> None:
         """Record an early exit from the path (orphan with a cause)."""
+        counts = self.point_counts
+        counts["dropped"] = counts.get("dropped", 0) + 1
         self.bus.record(t, SPAN_MARK_KIND, ctx=ctx, point="dropped", reason=reason, **attrs)
 
     # --------------------------------------------------- interrupt sub-path
@@ -332,10 +342,12 @@ class SpanRecorder:
         waiters = self._irq_waiters.get((vm_id, vector))
         if not waiters:
             return
+        counts = self.point_counts
         for ctx, seen in waiters.items():
             if point in seen:
                 continue
             seen.add(point)
+            counts[point] = counts.get(point, 0) + 1
             self.bus.record(t, SPAN_MARK_KIND, ctx=ctx, point=point, **attrs)
 
     def clear(self) -> None:

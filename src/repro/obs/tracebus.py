@@ -18,6 +18,7 @@ redirect   ``irq-redirect``
 sched      ``sched-in``, ``sched-out``
 net        ``net-tx``, ``net-rx``
 span       ``span-mark`` (per-request path milestones, repro.obs.spans)
+watchdog   ``watchdog-violation`` (invariant breaches, repro.obs.watchdog)
 ========== =====================================================
 
 Kinds not in :data:`KIND_CATEGORY` fall into the ``other`` category, so
@@ -47,7 +48,10 @@ from typing import Any, Deque, Dict, Iterable, List, NamedTuple, Optional, Tuple
 __all__ = ["TraceEvent", "TraceBus", "TRACE_CATEGORIES", "KIND_CATEGORY"]
 
 #: The trace categories, one per instrumented subsystem.
-TRACE_CATEGORIES = ("exit", "irq", "mode_switch", "redirect", "sched", "net", "span", "other")
+TRACE_CATEGORIES = (
+    "exit", "irq", "mode_switch", "redirect", "sched", "net", "span",
+    "watchdog", "other",
+)
 
 #: Record kind -> category (unknown kinds map to ``other``).
 KIND_CATEGORY: Dict[str, str] = {
@@ -61,6 +65,7 @@ KIND_CATEGORY: Dict[str, str] = {
     "net-tx": "net",
     "net-rx": "net",
     "span-mark": "span",
+    "watchdog-violation": "watchdog",
 }
 
 

@@ -1,0 +1,240 @@
+"""Invariant watchdog: conservation-law cross-checks on every timeline window.
+
+Counters, spans, and the timeline each observe the simulation from a
+different angle; when the simulation is correct, those angles agree in
+ways that can be stated as *conservation laws*.  The watchdog registers
+as a :class:`~repro.obs.timeline.TimelineSampler` listener and re-checks
+the catalog below at every window boundary, so a bookkeeping bug
+surfaces within 100 µs of simulated time instead of skewing a final
+aggregate silently.
+
+Invariant catalog (each check names its ``invariant`` id):
+
+``counter-monotonic``
+    No sampled counter ever decreases: every per-window delta >= 0.
+``virtqueue-conservation``
+    For every registered ring, ``added - popped == len(ring)`` — a
+    descriptor is either consumed or still queued.
+``rx-conservation``
+    Per device, ``0 <= tap_enqueued - rxq.added - len(backlog) <= slack``
+    — every packet accepted from the wire is in the RX ring, still in
+    the tap backlog, or (at most ``slack``, default 1) in the hands of
+    the RX handler mid-copy (parked at a ``Consume`` yield).
+``tx-conservation``
+    Per device, ``0 <= txq.popped - tx_wire_packets <= slack`` — every
+    descriptor popped from the TX ring reaches the wire, except at most
+    the one the TX handler is currently copying.
+``residency-sum``
+    Per hybrid handler, the per-window notification + polling residency
+    fractions sum to 1 (to float round-off).
+``span-counter-consistency``
+    Span milestone counts agree with counters: the per-window delta of
+    ``wire_tx`` span marks never exceeds the summed ``tx_wire_packets``
+    counter delta (``<=`` rather than ``==`` because spans sample).
+
+Violations become structured :class:`WatchdogViolation` records: kept on
+``watchdog.violations``, recorded onto the trace bus as
+``watchdog-violation`` events (category ``watchdog``), and either warned
+(experiments) or raised as :class:`WatchdogError` when fatal (tests —
+``tests/conftest.py`` flips :data:`FATAL` for every test).
+
+Observer contract: checks only *read* simulation state; a clean run is
+byte-identical with the watchdog on or off.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["InvariantWatchdog", "WatchdogViolation", "WatchdogError", "FATAL"]
+
+#: When True, any violation raises :class:`WatchdogError` instead of
+#: warning.  Tests flip this through an autouse fixture; experiments and
+#: benches leave it False so a violation is reported, not fatal.
+FATAL = False
+
+
+class WatchdogError(AssertionError):
+    """A conservation-law violation, raised in fatal mode."""
+
+
+class WatchdogViolation:
+    """One failed invariant check at one window boundary."""
+
+    __slots__ = ("t", "invariant", "subject", "message", "details")
+
+    def __init__(self, t: int, invariant: str, subject: str, message: str,
+                 details: Optional[Dict[str, Any]] = None):
+        self.t = t
+        self.invariant = invariant
+        #: what the check was looking at (a counter key, ring, device, ...)
+        self.subject = subject
+        self.message = message
+        self.details = details or {}
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "t": self.t,
+            "invariant": self.invariant,
+            "subject": self.subject,
+            "message": self.message,
+            "details": dict(self.details),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<WatchdogViolation t={self.t} {self.invariant} "
+                f"{self.subject}: {self.message}>")
+
+
+#: |sum(fractions) - 1| tolerance: pure float round-off on exact-ns sums.
+_RESIDENCY_TOL = 1e-9
+
+
+class InvariantWatchdog:
+    """Cross-checks conservation laws each timeline window.
+
+    Wire it with ``timeline.add_listener(watchdog.check_window)`` (done by
+    :meth:`Testbed.enable_timeline`), then register sources::
+
+        wd.add_virtqueue(device.txq)
+        wd.add_device(device)
+        wd.add_residency("...tx.mode", ("...notification", "...polling"))
+    """
+
+    def __init__(self, sim, fatal: Optional[bool] = None):
+        self.sim = sim
+        #: None -> follow the module-level :data:`FATAL` flag
+        self.fatal = fatal
+        self.violations: List[WatchdogViolation] = []
+        self.windows_checked = 0
+        self._virtqueues: List[Any] = []
+        self._devices: List[Tuple[Any, int]] = []
+        self._residency: List[Tuple[str, Tuple[str, ...]]] = []
+        self._prev_points: Dict[str, int] = {}
+
+    # ------------------------------------------------------- source wiring
+    def add_virtqueue(self, vq) -> None:
+        """Check ``added - popped == len`` for this ring each window."""
+        self._virtqueues.append(vq)
+
+    def add_device(self, device, inflight_slack: int = 1) -> None:
+        """Check RX/TX packet conservation for this virtio-net device.
+
+        ``inflight_slack`` is the number of packets legitimately "in the
+        handler's hands" at a window boundary: the vhost handlers copy one
+        packet at a time, so the default is 1 per direction.
+        """
+        self._devices.append((device, inflight_slack))
+        self.add_virtqueue(device.txq)
+        self.add_virtqueue(device.rxq)
+
+    def add_residency(self, subject: str, metric_ids: Sequence[str]) -> None:
+        """Check that these gauge fractions sum to 1 each window."""
+        self._residency.append((subject, tuple(metric_ids)))
+
+    # ------------------------------------------------------------- checks
+    def check_window(self, sample, prev: Dict[str, int],
+                     cur: Dict[str, int]) -> List[WatchdogViolation]:
+        """Timeline listener entry point; returns this window's violations."""
+        found: List[WatchdogViolation] = []
+        t = sample.t_end
+
+        # counter-monotonic: sampled counters never run backwards.
+        for key, value in cur.items():
+            before = prev.get(key)
+            if before is not None and value < before:
+                found.append(WatchdogViolation(
+                    t, "counter-monotonic", key,
+                    f"counter decreased: {before} -> {value}",
+                    {"before": before, "after": value},
+                ))
+
+        # virtqueue-conservation: added - popped == occupancy.
+        for vq in self._virtqueues:
+            expect = vq.added - vq.popped
+            actual = len(vq)
+            if expect != actual:
+                found.append(WatchdogViolation(
+                    t, "virtqueue-conservation", vq.name,
+                    f"added - popped = {expect} but ring holds {actual}",
+                    {"added": vq.added, "popped": vq.popped, "len": actual},
+                ))
+
+        # rx/tx-conservation: accepted packets are ringed, backlogged, or
+        # (bounded) mid-copy.
+        for device, slack in self._devices:
+            rx_inflight = device.tap_enqueued - device.rxq.added - len(device.backlog)
+            if not (0 <= rx_inflight <= slack):
+                found.append(WatchdogViolation(
+                    t, "rx-conservation", device.name,
+                    f"tap_enqueued - rxq.added - backlog = {rx_inflight}, "
+                    f"expected 0..{slack}",
+                    {"tap_enqueued": device.tap_enqueued,
+                     "rxq_added": device.rxq.added,
+                     "backlog": len(device.backlog)},
+                ))
+            tx_inflight = device.txq.popped - device.tx_wire_packets
+            if not (0 <= tx_inflight <= slack):
+                found.append(WatchdogViolation(
+                    t, "tx-conservation", device.name,
+                    f"txq.popped - tx_wire_packets = {tx_inflight}, "
+                    f"expected 0..{slack}",
+                    {"txq_popped": device.txq.popped,
+                     "tx_wire_packets": device.tx_wire_packets},
+                ))
+
+        # residency-sum: per-window mode fractions partition the window.
+        for subject, metric_ids in self._residency:
+            gauges = sample.gauges
+            if not all(mid in gauges for mid in metric_ids):
+                continue
+            total = sum(gauges[mid] for mid in metric_ids)
+            if abs(total - 1.0) > _RESIDENCY_TOL:
+                found.append(WatchdogViolation(
+                    t, "residency-sum", subject,
+                    f"mode residency fractions sum to {total!r}, expected 1",
+                    {mid: gauges[mid] for mid in metric_ids},
+                ))
+
+        # span-counter-consistency: wire_tx marks vs tx_wire_packets deltas.
+        spans = self.sim.obs.spans
+        if spans is not None:
+            marks = spans.point_counts.get("wire_tx", 0)
+            mark_delta = marks - self._prev_points.get("wire_tx", 0)
+            self._prev_points["wire_tx"] = marks
+            counter_delta = sum(
+                cur[key] - prev.get(key, 0)
+                for key in cur if key.endswith(".tx_wire_packets")
+            )
+            if mark_delta > counter_delta:
+                found.append(WatchdogViolation(
+                    t, "span-counter-consistency", "wire_tx",
+                    f"{mark_delta} wire_tx span marks this window but only "
+                    f"{counter_delta} tx_wire_packets counted",
+                    {"span_marks": mark_delta, "counter_delta": counter_delta},
+                ))
+
+        self.windows_checked += 1
+        if found:
+            self._report(found)
+        return found
+
+    # ---------------------------------------------------------- reporting
+    def _report(self, found: List[WatchdogViolation]) -> None:
+        self.violations.extend(found)
+        trace = self.sim.trace
+        if trace.enabled:
+            for v in found:
+                trace.record(v.t, "watchdog-violation",
+                             invariant=v.invariant, subject=v.subject,
+                             message=v.message)
+        fatal = self.fatal if self.fatal is not None else FATAL
+        if fatal:
+            raise WatchdogError(
+                "; ".join(f"[{v.invariant}] {v.subject}: {v.message}"
+                          for v in found)
+            )
+        for v in found:
+            warnings.warn(f"watchdog: [{v.invariant}] {v.subject}: {v.message}",
+                          RuntimeWarning, stacklevel=3)

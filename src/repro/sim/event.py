@@ -145,6 +145,10 @@ class EventQueue:
         """Number of *live* (non-cancelled, unfired) events."""
         return self._live
 
+    def free_list_size(self) -> int:
+        """Recycled events currently pooled for reuse (observability gauge)."""
+        return len(self._free)
+
     def _obtain(self, time: int, seq: int, fn: Callable[..., Any], args: tuple) -> Event:
         """A fresh-looking event: from the free list if possible, else new."""
         free = self._free

@@ -8,7 +8,14 @@ from time import perf_counter_ns
 from typing import Any, Callable, Iterable, Optional
 
 from repro.errors import SimulationError
-from repro.obs import EventProfiler, Observability, SpanRecorder, TraceBus
+from repro.obs import (
+    EventProfiler,
+    InvariantWatchdog,
+    Observability,
+    SpanRecorder,
+    TimelineSampler,
+    TraceBus,
+)
 from repro.sim.event import Event, EventQueue
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import NullTracer, TraceRecorder
@@ -134,6 +141,45 @@ class Simulator:
     def disable_spans(self) -> None:
         """Stop span recording (retained marks stay on the trace bus)."""
         self.obs.spans = None
+
+    def enable_timeline(
+        self,
+        window_ns: int = 100_000,
+        prefixes: Optional[Iterable[str]] = None,
+        watchdog: bool = True,
+        start: bool = True,
+    ) -> TimelineSampler:
+        """Install windowed telemetry sampling (``sim.obs.timeline``).
+
+        The sampler fires every ``window_ns`` of simulated time and
+        snapshots the selected counter-group prefixes; ``watchdog=True``
+        also installs an :class:`~repro.obs.InvariantWatchdog` as a
+        window listener (``sim.obs.watchdog``).  Observer only: the
+        boundary events change ``events_fired``/sequence allocation but
+        every simulated metric stays byte-identical at a fixed seed.
+
+        Gauges and conservation sources are not wired here — the
+        simulator does not know the topology; see
+        ``Testbed.enable_timeline`` for the standard wiring.
+        """
+        if self.obs.timeline is None:
+            self.obs.timeline = TimelineSampler(
+                self, window_ns=window_ns,
+                prefixes=tuple(prefixes) if prefixes is not None else None,
+            )
+            if watchdog:
+                self.obs.watchdog = InvariantWatchdog(self)
+                self.obs.timeline.add_listener(self.obs.watchdog.check_window)
+        if start and not self.obs.timeline.running:
+            self.obs.timeline.start()
+        return self.obs.timeline
+
+    def disable_timeline(self) -> None:
+        """Stop and remove the timeline sampler (and its watchdog)."""
+        if self.obs.timeline is not None:
+            self.obs.timeline.stop()
+        self.obs.timeline = None
+        self.obs.watchdog = None
 
     def enable_profiling(self) -> EventProfiler:
         """Install per-event-type wall/sim-time profiling on the run loop."""

@@ -78,6 +78,10 @@ class TimingWheelQueue:
         """Number of *live* (non-cancelled, unfired) events."""
         return self._live
 
+    def free_list_size(self) -> int:
+        """Recycled events currently pooled for reuse (observability gauge)."""
+        return len(self._free)
+
     # -------------------------------------------------------------- insertion
     def _obtain(self, time: int, seq: int, fn: Callable[..., Any], args: tuple) -> Event:
         free = self._free

@@ -18,6 +18,8 @@ to vhost-net (:class:`~repro.config.FeatureSet` carries it).
 
 from __future__ import annotations
 
+from typing import Dict
+
 from repro.sched.thread import Consume, CpuMode
 from repro.vhost.handler import StockTxHandler
 
@@ -45,6 +47,40 @@ class HybridTxHandler(StockTxHandler):
         self.recheck_races = 0
         #: total handler invocations
         self.rounds = 0
+        # Mode-residency bookkeeping (always on; touched only at the rare
+        # mode transitions).  ``service_mode_now`` is the Algorithm-1 mode
+        # the handler currently sits in; the ``*_ns`` accumulators hold
+        # closed intervals and :meth:`mode_residency_ns` adds the open one,
+        # so windowed residency fractions are exact at any sample instant.
+        self.service_mode_now = "notification"
+        self._mode_since = worker.sim.now
+        self.notification_ns = 0
+        self.polling_ns = 0
+
+    def _set_mode(self, mode: str, now: int) -> None:
+        elapsed = now - self._mode_since
+        if self.service_mode_now == "polling":
+            self.polling_ns += elapsed
+        else:
+            self.notification_ns += elapsed
+        self.service_mode_now = mode
+        self._mode_since = now
+
+    def mode_residency_ns(self, now: int) -> Dict[str, int]:
+        """Cumulative ns spent per mode, the open interval included.
+
+        The two values sum to ``now - construction_time`` exactly, so the
+        per-window residency fractions derived from consecutive readings
+        sum to 1 (an invariant the watchdog checks each window).
+        """
+        open_ns = now - self._mode_since
+        notification = self.notification_ns
+        polling = self.polling_ns
+        if self.service_mode_now == "polling":
+            polling += open_ns
+        else:
+            notification += open_ns
+        return {"notification": notification, "polling": polling}
 
     def on_guest_kick(self) -> None:
         """Entry into polling mode goes through ES2's handler-scheduling
@@ -64,6 +100,7 @@ class HybridTxHandler(StockTxHandler):
         if not q.notify_suppressed:
             # Algorithm 1 lines 8-10: enter polling mode.
             q.suppress_notify()
+            self._set_mode("polling", worker.sim.now)
         # Hoisted out of the per-packet loop; the polling rounds here are
         # the hottest handler path in the whole simulation.
         pop = q.pop
@@ -111,5 +148,6 @@ class HybridTxHandler(StockTxHandler):
             return
         self.drained += 1
         sim = self.worker.sim
+        self._set_mode("notification", sim.now)
         if sim.trace.enabled:
             sim.trace.record(sim.now, "mode-switch", handler=self.name, mode="notification")

@@ -46,12 +46,16 @@ class VirtioNetDevice:
         self.tx_wire_packets = 0
         self.rx_interrupts_raised = 0
         self.rx_interrupts_suppressed = 0
+        #: packets accepted into the tap backlog (excludes backlog_drops);
+        #: anchors the RX conservation law tap_enqueued == rxq.added +
+        #: len(backlog) + in-flight (repro.obs.watchdog)
+        self.tap_enqueued = 0
         vm.devices.append(self)
         self.machine.sim.obs.counters.register(
             f"virtio.{self.name}",
             self,
             ("tx_wire_packets", "rx_interrupts_raised", "rx_interrupts_suppressed",
-             "backlog_drops"),
+             "backlog_drops", "tap_enqueued"),
         )
 
     # ------------------------------------------------------------- wire side
@@ -83,6 +87,7 @@ class VirtioNetDevice:
             sp = sim.obs.spans
             if sp is not None:
                 sp.mark(sim.now, packet.ctx, "tap_ingress", device=self.name)
+        self.tap_enqueued += 1
         self.backlog.append(packet)
         if self.vhost is not None:
             self.vhost.rx_handler.on_wire_traffic()

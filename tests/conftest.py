@@ -5,7 +5,19 @@ from __future__ import annotations
 import pytest
 
 from repro.hw.machine import Machine
+from repro.obs import watchdog as _watchdog
 from repro.sim.simulator import Simulator
+
+
+@pytest.fixture(autouse=True)
+def watchdog_fatal(monkeypatch):
+    """Conservation-law violations are hard failures in tests.
+
+    Experiments and benches run the invariant watchdog warn-only; under
+    pytest any violation raises ``WatchdogError`` at the window boundary
+    that detected it, so the failing invariant is caught in the act.
+    """
+    monkeypatch.setattr(_watchdog, "FATAL", True)
 
 
 @pytest.fixture

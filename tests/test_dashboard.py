@@ -1,0 +1,171 @@
+"""Tests for the self-contained HTML dashboard (repro.obs.dashboard).
+
+The dashboard ships as one file with zero external resources, so the
+checks here are structural: balanced markup, parseable embedded tooltip
+payloads, the expected chart/metric ids, and the acceptance-criterion
+cross-check — steady-state exit rates reaggregated from the embedded
+timeline windows must match the bench aggregate within 1%.
+"""
+
+from __future__ import annotations
+
+import json
+from html.parser import HTMLParser
+
+import pytest
+
+from repro.obs import bench, dashcli
+from repro.obs.dashboard import (
+    render_dashboard,
+    steady_state_window_rate,
+    write_dashboard,
+)
+from repro.units import MS
+
+
+@pytest.fixture(scope="module")
+def report():
+    return bench.run_bench(
+        seed=1,
+        warmup_ns=5 * MS,
+        measure_ns=15 * MS,
+        latency_duration_ns=50 * MS,
+        profile=True,
+        revision="dash-test",
+    )
+
+
+@pytest.fixture(scope="module")
+def doc(report):
+    return render_dashboard(report)
+
+
+class _Scan(HTMLParser):
+    """Collects tag balance, element ids, and embedded JSON payloads."""
+
+    VOID = {"meta", "br", "hr", "img", "input", "link"}
+
+    def __init__(self):
+        super().__init__(convert_charrefs=True)
+        self.stack = []
+        self.mismatches = []
+        self.ids = set()
+        self.json_blobs = []
+        self._json_depth = None
+
+    def handle_starttag(self, tag, attrs):
+        a = dict(attrs)
+        if "id" in a:
+            self.ids.add(a["id"])
+        if tag in self.VOID:
+            return
+        if tag == "script" and a.get("type") == "application/json":
+            self._json_depth = len(self.stack)
+            self.json_blobs.append("")
+        self.stack.append(tag)
+
+    def handle_startendtag(self, tag, attrs):
+        a = dict(attrs)
+        if "id" in a:
+            self.ids.add(a["id"])
+
+    def handle_endtag(self, tag):
+        if tag in self.VOID:
+            return
+        if not self.stack or self.stack[-1] != tag:
+            self.mismatches.append((tag, list(self.stack[-3:])))
+        else:
+            self.stack.pop()
+        if self._json_depth is not None and len(self.stack) == self._json_depth:
+            self._json_depth = None
+
+    def handle_data(self, data):
+        if self._json_depth is not None:
+            self.json_blobs[-1] += data
+
+
+def test_dashboard_is_self_contained(doc):
+    lowered = doc.lower()
+    assert "http://" not in lowered
+    assert "https://" not in lowered
+    assert "<link" not in lowered
+    assert "<img" not in lowered
+    assert "@import" not in lowered
+    assert "src=" not in lowered
+    assert lowered.count("<svg") >= 5  # the charts themselves are inline
+
+
+def test_dashboard_markup_balanced_and_payloads_parse(doc):
+    scan = _Scan()
+    scan.feed(doc)
+    scan.close()
+    assert scan.mismatches == []
+    assert scan.stack == []
+    assert scan.json_blobs  # one tooltip payload per rendered chart
+    for blob in scan.json_blobs:
+        payload = json.loads(blob)
+        assert payload["tmin"] <= payload["tmax"]
+        assert payload["t"]  # shared time base
+        for s in payload["series"]:
+            assert len(s["v"]) == len(payload["t"])
+
+
+def test_dashboard_has_expected_charts_and_metric_ids(doc, report):
+    scan = _Scan()
+    scan.feed(doc)
+    scan.close()
+    for name in report["throughput"]:
+        assert f"exits-{name}" in scan.ids
+        assert f"net-{name}" in scan.ids
+        assert f"gauges-{name}" in scan.ids
+    assert "residency-PI+H+R" in scan.ids  # the hybrid latency point
+    assert "tooltip" in scan.ids
+    # metric ids surfaced in legends/tables, not just internal keys
+    assert "kvm.exits." in doc
+    assert "host.runqueue.core0" in doc
+    assert ".residency.notification" in doc
+    # watchdog verdict tile and the steady-state cross-check table
+    assert "0 violations" in doc
+    assert "Steady-state cross-check" in doc
+
+
+def test_steady_state_windows_match_bench_aggregate_within_1pct(report):
+    for name, point in report["throughput"].items():
+        windowed = steady_state_window_rate(point)
+        assert windowed is not None, name
+        aggregate = point["exits_per_sec"]["total"]
+        assert windowed == pytest.approx(aggregate, rel=0.01), name
+        # ... and with the exact summed-delta figure embedded by the bench
+        exact = point["timeline"]["steady_state"]["exits_per_sec_total"]
+        assert windowed == pytest.approx(exact, rel=1e-9), name
+
+
+def test_report_watchdog_verdict_is_clean(report):
+    assert report["watchdog_violations"] == 0
+    points = (*report["throughput"].values(), *report["latency_ms"].values())
+    for point in points:
+        wd = point["timeline"]["watchdog"]
+        assert wd["violations"] == 0
+        assert wd["windows_checked"] > 0
+
+
+def test_write_dashboard_roundtrip(tmp_path, report, doc):
+    path = write_dashboard(report, str(tmp_path / "dash.html"))
+    assert (tmp_path / "dash.html").read_text(encoding="utf-8") == doc
+
+
+def test_dashcli_renders_existing_report(tmp_path, report, capsys):
+    inp = tmp_path / "BENCH_dash-test.json"
+    bench.write_report(report, str(inp))
+    out = tmp_path / "dash.html"
+    assert dashcli.main(["--input", str(inp), "--output", str(out)]) == 0
+    assert out.stat().st_size > 10_000
+    assert "self-contained" in capsys.readouterr().out
+
+
+def test_dashcli_rejects_pre_timeline_schemas(tmp_path, capsys):
+    inp = tmp_path / "old.json"
+    inp.write_text(json.dumps({"schema": {"name": "repro-bench", "version": 2}}))
+    assert dashcli.main(["--input", str(inp), "--output",
+                         str(tmp_path / "x.html")]) == 2
+    assert "schema v2" in capsys.readouterr().err
