@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test lint bench-smoke bench bench-compare profile trace-smoke dashboard determinism ci experiments
+.PHONY: test lint bench-smoke sched-sweep bench bench-compare profile trace-smoke dashboard determinism ci experiments
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -20,6 +20,11 @@ lint:
 # for what this runs — no file paths here.
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest -q -m bench_smoke
+
+# Reduced scheduler-policy-zoo sweep (marker-selected, see pyproject.toml).
+# Set REPRO_SCHED_SWEEP_ARTIFACT=<path> to export the JSON summary.
+sched-sweep:
+	PYTHONPATH=src $(PYTHON) -m pytest -q -m sched_sweep
 
 # Machine-readable benchmark artifact: BENCH_<rev>.json.
 bench:

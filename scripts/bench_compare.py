@@ -60,6 +60,15 @@ def _metrics(report: Dict[str, Any]) -> Iterator[Tuple[str, str, float]]:
         if steady and "exits_per_sec_total" in steady:
             yield (f"steady[{name}].exits_per_sec", "lower",
                    float(steady["exits_per_sec_total"]))
+    # Schema v4: scheduler-zoo ping points (full ES2 per host policy, plus
+    # one adaptive-allocation point).  New metrics list-but-don't-gate
+    # against older baselines automatically.
+    sched = report.get("sched", {})
+    for policy, point in sched.get("policies", {}).items():
+        yield f"sched[{policy}].p99_ms", "lower", float(point["p99_ms"])
+    adaptive = sched.get("adaptive")
+    if adaptive:
+        yield "sched[adaptive].p99_ms", "lower", float(adaptive["p99_ms"])
 
 
 def compare(

@@ -20,6 +20,7 @@ from repro.experiments.fig6 import format_fig6, run_fig6
 from repro.experiments.fig7 import format_fig7, run_fig7
 from repro.experiments.fig8 import format_fig8, run_fig8
 from repro.experiments.fig9 import find_knee, format_fig9, run_fig9
+from repro.experiments.schedzoo import format_sched_sweep, run_sched_sweep
 from repro.experiments.sriov import format_sriov, run_sriov
 from repro.experiments.coalescing import format_coalescing, run_coalescing
 from repro.experiments.table1 import format_table1, run_table1
@@ -118,6 +119,10 @@ def main(argv=None) -> None:
     stamp("Ablation: vIC coalescing vs ES2")
     print(format_coalescing(run_coalescing(seed=5, warmup_ns=WARMUP, measure_ns=MEASURE,
                                            jobs=jobs, cache=cache)))
+
+    stamp("Scheduler policy zoo x redirection x adaptive allocation")
+    print(format_sched_sweep(run_sched_sweep(seed=3, duration_ns=int(0.8 * SEC),
+                                             jobs=jobs, cache=cache)))
 
     stamp(f"done in {time.monotonic() - t0:.1f}s")
 

@@ -24,6 +24,7 @@ from repro.experiments.fig6 import DEFAULT_PACKET_SIZES, format_fig6, run_fig6
 from repro.experiments.fig7 import format_fig7, run_fig7
 from repro.experiments.fig8 import format_fig8, run_fig8
 from repro.experiments.fig9 import DEFAULT_RATES, find_knee, format_fig9, run_fig9
+from repro.experiments.schedzoo import format_sched_sweep, run_sched_sweep
 from repro.experiments.sriov import format_sriov, run_sriov
 from repro.experiments.table1 import format_table1, run_table1
 from repro.units import MS
@@ -33,6 +34,12 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=None, help="simulation seed")
     p.add_argument("--warmup-ms", type=int, default=200)
     p.add_argument("--measure-ms", type=int, default=500)
+    p.add_argument(
+        "--sched-policy",
+        choices=("cfs", "rr", "mlfq", "deadline"),
+        default=None,
+        help="host scheduler policy for every testbed (sets REPRO_SCHED_POLICY)",
+    )
     p.add_argument(
         "--jobs",
         type=int,
@@ -81,6 +88,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rates", type=int, nargs="+", default=list(DEFAULT_RATES))
     p.add_argument("--duration-ms", type=int, default=2000)
 
+    p = sub.add_parser(
+        "schedsweep",
+        help="policy zoo: ping RTT across redirection x scheduler policy x adaptive allocation",
+    )
+    _add_common(p)
+    p.add_argument("--policies", nargs="+", default=None,
+                   choices=("cfs", "rr", "mlfq", "deadline"))
+    p.add_argument("--redirection", nargs="+", default=None,
+                   choices=("off", "hybrid", "on"))
+    p.add_argument("--adaptive", choices=("off", "on", "both"), default="both")
+    p.add_argument("--duration-ms", type=int, default=800)
+
     # `repro bench` has its own (short) windows and output options; it
     # delegates to repro.obs.bench so the schema lives in one place.
     p = sub.add_parser(
@@ -127,10 +146,15 @@ def main(argv=None) -> int:
     measure = args.measure_ms * MS
     jobs = args.jobs
     cache = not args.no_cache
-    if args.cache_dir is not None:
+    if args.cache_dir is not None or args.sched_policy is not None:
         import os
 
-        os.environ["REPRO_CACHE_DIR"] = args.cache_dir
+        if args.cache_dir is not None:
+            os.environ["REPRO_CACHE_DIR"] = args.cache_dir
+        if args.sched_policy is not None:
+            # Environment, not a parameter: sweep workers inherit it, and
+            # default-SchedParams testbeds resolve it uniformly.
+            os.environ["REPRO_SCHED_POLICY"] = args.sched_policy
 
     def seed(default):
         """Resolve the seed CLI option against a default."""
@@ -181,6 +205,17 @@ def main(argv=None) -> int:
     if cmd in ("coalescing", "all"):
         print(format_coalescing(run_coalescing(seed=seed(5), warmup_ns=warmup,
                                                measure_ns=measure, jobs=jobs, cache=cache)))
+    if cmd == "schedsweep" or cmd == "all":
+        from repro.experiments.schedzoo import REDIRECTION_MODES, SCHED_POLICIES
+
+        policies = tuple(args.__dict__.get("policies") or SCHED_POLICIES)
+        modes = tuple(args.__dict__.get("redirection") or (m for m, _ in REDIRECTION_MODES))
+        adaptive_opt = args.__dict__.get("adaptive", "both")
+        adaptive = {"off": (False,), "on": (True,), "both": (False, True)}[adaptive_opt]
+        duration = args.__dict__.get("duration_ms", 800) * MS
+        print(format_sched_sweep(run_sched_sweep(
+            policies=policies, modes=modes, adaptive=adaptive,
+            seed=seed(3), duration_ns=duration, jobs=jobs, cache=cache)))
     return 0
 
 

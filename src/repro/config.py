@@ -167,8 +167,16 @@ class CostModel:
 
 @dataclass
 class SchedParams:
-    """Host CFS parameters (Linux defaults scaled for an 8-core machine)."""
+    """Host scheduler parameters (Linux defaults scaled for an 8-core machine).
 
+    ``policy`` selects the per-core runqueue implementation from the
+    :mod:`repro.sched.policy` registry ("cfs", "rr", "mlfq", "deadline").
+    The CFS fields keep their historical names; the policy-specific knobs
+    below them are ignored by policies that do not use them.
+    """
+
+    #: runqueue policy name; "cfs" may be overridden by REPRO_SCHED_POLICY
+    policy: str = "cfs"
     #: targeted preemption latency for CPU-bound tasks
     sched_latency_ns: int = 24 * MS
     #: minimal slice any task gets before preemption
@@ -180,12 +188,56 @@ class SchedParams:
     #: sleeper bonus cap applied when placing woken tasks (GENTLE_FAIR_SLEEPERS)
     sleeper_bonus_ns: int = 12 * MS
 
+    # --- round-robin ---------------------------------------------------------
+    #: fixed timeslice per rotation
+    rr_slice_ns: int = 4 * MS
+    # --- multilevel feedback queue -------------------------------------------
+    #: number of priority levels
+    mlfq_levels: int = 3
+    #: top-level quantum; doubles per demotion level
+    mlfq_quantum_ns: int = 2 * MS
+    #: on-CPU time between global priority boosts (starvation guard)
+    mlfq_boost_interval_ns: int = 200 * MS
+    # --- deadline ------------------------------------------------------------
+    #: continuous-runtime throttle while others wait
+    dl_runtime_ns: int = 3 * MS
+    #: implicit period used to assign deadlines (scaled by 1024/weight)
+    dl_period_ns: int = 30 * MS
+    # --- adaptive backend-CPU allocation (arXiv 2310.14741) ------------------
+    #: enable the periodic vhost/vCPU core re-apportioning controller
+    adaptive_alloc: bool = False
+    #: controller evaluation period
+    adaptive_interval_ns: int = 10 * MS
+    #: floor on cores kept for vhost backend threads
+    adaptive_min_backend_cores: int = 1
+    #: floor on cores kept for vCPU/emulator threads
+    adaptive_min_vcpu_cores: int = 1
+    #: relative pressure imbalance required before moving a core
+    adaptive_hysteresis: float = 0.25
+
     def validate(self) -> None:
         """Raise ConfigError on invalid values."""
         if self.min_granularity_ns <= 0 or self.sched_latency_ns <= 0:
             raise ConfigError("scheduler granularities must be positive")
         if self.tick_ns <= 0:
             raise ConfigError("tick_ns must be positive")
+        if self.rr_slice_ns <= 0:
+            raise ConfigError("rr_slice_ns must be positive")
+        if self.mlfq_levels < 1:
+            raise ConfigError("mlfq_levels must be at least 1")
+        if self.mlfq_quantum_ns <= 0 or self.mlfq_boost_interval_ns <= 0:
+            raise ConfigError("mlfq quanta must be positive")
+        if self.dl_runtime_ns <= 0 or self.dl_period_ns <= 0:
+            raise ConfigError("deadline runtime/period must be positive")
+        if self.adaptive_interval_ns <= 0:
+            raise ConfigError("adaptive_interval_ns must be positive")
+        if self.adaptive_min_backend_cores < 1 or self.adaptive_min_vcpu_cores < 1:
+            raise ConfigError("adaptive core floors must be at least 1")
+        if self.adaptive_hysteresis < 0:
+            raise ConfigError("adaptive_hysteresis must be non-negative")
+        # The policy name itself is validated against the registry by
+        # repro.sched.policy.resolve_policy_name (imported lazily there to
+        # keep config free of scheduler imports).
 
 
 @dataclass

@@ -89,6 +89,8 @@ class Testbed:
         self.link = Link(self.sim, self.machine.nic, self.external.nic, rate_gbps=link_gbps)
         self.machine.start_ticks()
         self.vm_setups: List[VmSetup] = []
+        #: adaptive backend-CPU allocator, created by boot() when enabled
+        self.adaptive = None
 
     # ------------------------------------------------------------------ VMs
     def add_vm(
@@ -172,6 +174,11 @@ class Testbed:
                     raise ConfigError(f"{vcpu.name}: boot without a guest context")
                 delay = rng.randrange(period) if stagger else 0
                 self.sim.schedule(delay, self.machine.spawn, vcpu)
+        if self.machine.sched_params.adaptive_alloc and self.adaptive is None:
+            from repro.sched.adaptive import AdaptiveAllocator
+
+            self.adaptive = AdaptiveAllocator(self.machine)
+            self.adaptive.start()
         # Opt-in hook so whole sweeps (determinism guard, experiment
         # scripts) can turn on windowed telemetry without code changes —
         # the observer contract guarantees identical simulated results.
@@ -213,6 +220,12 @@ class Testbed:
                          lambda i=i: machine.runqueue_depths()[i])
         tl.add_gauge("sim.event_queue", lambda: len(sim.queue))
         tl.add_gauge("sim.event_pool", sim.queue.free_list_size)
+        if self.adaptive is not None:
+            alloc = self.adaptive
+            tl.add_gauge("sched.adaptive.backend_cores",
+                         lambda: float(len(alloc.backend_cores)))
+            tl.add_gauge("sched.adaptive.vcpu_cores",
+                         lambda: float(len(alloc.vcpu_cores)))
 
         wd = sim.obs.watchdog
         for setup in self.vm_setups:
@@ -261,9 +274,10 @@ def single_vcpu_testbed(
     seed: int = 1,
     cost: Optional[CostModel] = None,
     guest_timer: bool = True,
+    sched_params: Optional[SchedParams] = None,
 ) -> Testbed:
     """One 1-vCPU / 1GB VM on the 8-core host, dedicated core (VI-B/C)."""
-    tb = Testbed(seed=seed, cost=cost)
+    tb = Testbed(seed=seed, cost=cost, sched_params=sched_params)
     tb.add_vm(
         "tested",
         n_vcpus=1,
@@ -283,6 +297,7 @@ def multiplexed_testbed(
     vcpus_per_vm: int = 4,
     shared_cores: int = 4,
     cost: Optional[CostModel] = None,
+    sched_params: Optional[SchedParams] = None,
 ) -> Testbed:
     """Four 4-vCPU VMs time-sharing four cores (VI-D/E).
 
@@ -292,7 +307,7 @@ def multiplexed_testbed(
     The first VM is the tested one; the rest only run their CPU-burn
     scripts, as in the paper.
     """
-    tb = Testbed(seed=seed, cost=cost)
+    tb = Testbed(seed=seed, cost=cost, sched_params=sched_params)
     for v in range(n_vms):
         pinning = [j % shared_cores for j in range(vcpus_per_vm)]
         tb.add_vm(

@@ -1,7 +1,8 @@
 """A physical CPU core: the dispatch engine.
 
-The core owns a CFS runqueue and drives thread generators.  Three things can
-end a CPU segment before its scheduled completion:
+The core owns a runqueue (a pluggable :class:`~repro.sched.policy.SchedPolicy`,
+CFS by default) and drives thread generators.  Three things can end a CPU
+segment before its scheduled completion:
 
 * **preemption** (scheduler tick slice expiry or wakeup preemption) — the
   in-flight request keeps its remaining time and continues at the next
@@ -20,7 +21,6 @@ from __future__ import annotations
 from typing import Optional, TYPE_CHECKING
 
 from repro.errors import SchedulerError
-from repro.sched.cfs import CfsRunqueue
 from repro.sched.thread import Block, Consume, CpuMode, Thread, ThreadState, YieldCPU
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -38,12 +38,15 @@ class Core:
         self.machine = machine
         self.sim = machine.sim
         self.index = index
-        self.rq = CfsRunqueue(machine.sched_params)
+        self.rq = machine.make_runqueue()
         self.current: Optional[Thread] = None
         self.prev_thread: Optional[Thread] = None
         self.lapic = None  # installed by the machine
         self.need_resched = False
         self._switching = False
+        #: wakeups that arrived while a context switch was in flight; the
+        #: preemption decision for them is re-run at the switch boundary
+        self._switch_wakeups: list = []
         self._completion_ev = None
         self._segment_started = 0
         self._dispatch_time = 0
@@ -77,7 +80,14 @@ class Core:
         thread.core = self
         self.rq.enqueue(thread, wakeup)
         if self._switching:
-            return  # dispatch decision already committed; revisit at next tick
+            if wakeup:
+                # There is no current to test against until the in-flight
+                # switch lands; deferring to "the next tick" would lose the
+                # decision entirely while fused segments keep
+                # ``_completion_ev`` None.  Remember the waker and re-run
+                # the check at the switch boundary (_complete_switch).
+                self._switch_wakeups.append(thread)
+            return
         if self.current is None:
             self._reschedule()
             return
@@ -85,6 +95,8 @@ class Core:
             self._sync_current_runtime()
             if self.rq.should_preempt_on_wakeup(self.current, thread):
                 self._request_resched()
+        # Non-wakeup enqueues (preemption requeue, yield, migration) never
+        # preempt — matching Linux, where check_preempt only runs on wakeup.
 
     def _request_resched(self) -> None:
         """Preempt now if safe, else flag for the next engine boundary."""
@@ -110,8 +122,13 @@ class Core:
 
     def _complete_switch(self, thread: Thread) -> None:
         self._switching = False
+        wakeups = self._switch_wakeups
+        if wakeups:
+            self._switch_wakeups = []
         if not thread.runnable and thread.state is not ThreadState.READY:
             # The thread vanished (finished) while we were switching; rare.
+            # Any pending wakers are already on the runqueue and compete in
+            # the reschedule below, so their preemption question dissolves.
             self._reschedule()
             return
         self.current = thread
@@ -121,6 +138,14 @@ class Core:
         if thread.is_vcpu:
             self.machine.notifiers.fire_sched_in(thread, self)
         thread.on_sched_in(self)
+        for woken in wakeups:
+            # Re-run the wakeup-preemption check deferred from mid-switch.
+            # The waker may have been dispatched elsewhere or migrated in
+            # the meantime; only still-queued local threads count.
+            if woken.core is self and self.rq.has(woken) \
+                    and self.rq.should_preempt_on_wakeup(thread, woken):
+                self.need_resched = True
+                break
         self._run_current()
 
     def _stop_current(self, new_state: ThreadState) -> Thread:

@@ -11,6 +11,7 @@ from repro.hw.lapic import LocalApic
 from repro.hw.nic import Nic
 from repro.sched.notifier import NotifierSet
 from repro.sched.placement import Placement
+from repro.sched.policy import SchedPolicy, make_runqueue, resolve_policy_name
 from repro.sched.thread import Thread
 from repro.sim.simulator import Simulator
 
@@ -41,6 +42,9 @@ class Machine:
         self.cost.validate()
         self.sched_params = sched_params if sched_params is not None else SchedParams()
         self.sched_params.validate()
+        # Resolve the scheduler policy once so a mid-run environment change
+        # cannot split this machine's cores across different policies.
+        self.sched_policy = resolve_policy_name(self.sched_params)
         self.notifiers = NotifierSet()
         self.placement = Placement(self)
         self.cores: List[Core] = [Core(self, i) for i in range(n_cores)]
@@ -49,6 +53,11 @@ class Machine:
         self.nic = Nic(sim, f"{name}-nic")
         self.threads: List[Thread] = []
         self._ticking = False
+
+    # ------------------------------------------------------------- scheduler
+    def make_runqueue(self) -> SchedPolicy:
+        """Instantiate one per-core runqueue of the resolved policy."""
+        return make_runqueue(self.sched_params, self.sched_policy)
 
     # --------------------------------------------------------------- threads
     def spawn(self, thread: Thread) -> Thread:
@@ -99,7 +108,7 @@ class Machine:
         """Per-core runnable thread counts, the running thread included.
 
         Observability gauge (repro.obs.timeline): index ``i`` is the depth
-        of core ``i``'s CFS runqueue, counting the thread currently on the
+        of core ``i``'s runqueue, counting the thread currently on the
         core — a dedicated core running one vCPU reads 1, an idle core 0.
         """
         return [c.rq.nr_running(c.current) for c in self.cores]

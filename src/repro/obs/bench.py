@@ -55,12 +55,19 @@ __all__ = [
 #: v3: points gained ``timeline`` (downsampled windowed telemetry +
 #: steady-state aggregates + watchdog verdict); top-level ``profile``
 #: carries the run-loop sim-gap histograms.
-BENCH_SCHEMA_VERSION = 3
+#: v4: top-level ``sched`` block — per-policy ping points (the scheduler
+#: zoo) plus one adaptive-allocation point.  Additive: every v3 metric
+#: keeps its path, so gated comparisons against v3 baselines still work.
+BENCH_SCHEMA_VERSION = 4
 
 #: Default windows — identical to ``tests/test_bench_smoke.py``.
 DEFAULT_WARMUP_NS = 20 * MS
 DEFAULT_MEASURE_NS = 60 * MS
 DEFAULT_LATENCY_NS = 250 * MS
+DEFAULT_SCHED_NS = 100 * MS
+
+#: policies measured by the ``sched`` block
+SCHED_ZOO_POLICIES = ("cfs", "rr", "mlfq", "deadline")
 
 
 def current_revision() -> str:
@@ -221,6 +228,36 @@ def _latency_point(name: str, seed: int, duration_ns: int) -> Dict[str, Any]:
     }
 
 
+def _sched_policy_point(
+    policy: str, seed: int, duration_ns: int, adaptive: bool = False,
+) -> Dict[str, Any]:
+    """One scheduler-zoo ping point: full ES2 on a non-default policy."""
+    from repro.config import SchedParams
+
+    params = SchedParams(policy=policy, adaptive_alloc=adaptive)
+    tb = multiplexed_testbed(paper_config("PI+H+R", quota=4), seed=seed, sched_params=params)
+    wl = PingWorkload(tb, tb.tested, interval_ns=5 * MS)
+    wl.start()
+    tb.run_for(duration_ns)
+    series = LatencySeries(wl.pinger.rtts_ns)
+    point: Dict[str, Any] = {
+        "samples": len(series),
+        "mean_ms": series.mean_ms(),
+        "p50_ms": series.percentile_ms(50),
+        "p99_ms": series.percentile_ms(99),
+        "max_ms": series.max_ms(),
+    }
+    if tb.adaptive is not None:
+        point["adaptive"] = {
+            "evaluations": tb.adaptive.evaluations,
+            "rebalances": tb.adaptive.rebalances,
+            "migrations": tb.adaptive.migrations,
+            "backend_cores": [c.index for c in tb.adaptive.backend_cores],
+            "vcpu_cores": [c.index for c in tb.adaptive.vcpu_cores],
+        }
+    return point
+
+
 def run_bench(
     seed: int = 1,
     warmup_ns: int = DEFAULT_WARMUP_NS,
@@ -229,6 +266,7 @@ def run_bench(
     profile: bool = True,
     revision: Optional[str] = None,
     profile_top: int = 8,
+    sched_duration_ns: int = DEFAULT_SCHED_NS,
 ) -> Dict[str, Any]:
     """Run the smoke sweep and return the full report as a dict."""
     wall0 = time.perf_counter()
@@ -242,6 +280,13 @@ def run_bench(
     latency = {
         name: _latency_point(name, seed, latency_duration_ns)
         for name in ("Baseline", "PI+H+R")
+    }
+    sched = {
+        "policies": {
+            policy: _sched_policy_point(policy, seed, sched_duration_ns)
+            for policy in SCHED_ZOO_POLICIES
+        },
+        "adaptive": _sched_policy_point("cfs", seed, sched_duration_ns, adaptive=True),
     }
     wall = time.perf_counter() - wall0
     total_events = sum(p["sim"]["events_fired"] for p in throughput.values())
@@ -266,10 +311,12 @@ def run_bench(
             "warmup_ns": warmup_ns,
             "measure_ns": measure_ns,
             "latency_duration_ns": latency_duration_ns,
+            "sched_duration_ns": sched_duration_ns,
         },
         "throughput": throughput,
         "hybrid": hybrid,
         "latency_ms": latency,
+        "sched": sched,
         "profile": {"gap_histograms": gap_histograms},
         "watchdog_violations": watchdog_violations,
         "wall_seconds": wall,
@@ -318,6 +365,21 @@ def format_bench(report: Dict[str, Any]) -> str:
             top = sorted(path["stages"].items(), key=lambda kv: kv[1]["share"], reverse=True)[:3]
             shares = ", ".join(f"{s} {v['share']:.0%}" for s, v in top)
             lines.append(f"           top stages: {shares}")
+    sched = report.get("sched")
+    if sched:
+        for policy, point in sorted(sched.get("policies", {}).items()):
+            lines.append(
+                f"  sched {policy:<9} p50={point['p50_ms']:.3f} ms  "
+                f"p99={point['p99_ms']:.3f} ms ({point['samples']} samples)"
+            )
+        adaptive = sched.get("adaptive")
+        if adaptive:
+            stats = adaptive.get("adaptive", {})
+            lines.append(
+                f"  sched adaptive  p99={adaptive['p99_ms']:.3f} ms  "
+                f"rebalances={stats.get('rebalances', 0)} "
+                f"migrations={stats.get('migrations', 0)}"
+            )
     violations = report.get("watchdog_violations")
     if violations is not None:
         lines.append(f"  watchdog {violations} violation(s) across timeline-checked points")
@@ -355,6 +417,8 @@ def main(argv=None) -> int:
     parser.add_argument("--warmup-ms", type=int, default=DEFAULT_WARMUP_NS // MS)
     parser.add_argument("--measure-ms", type=int, default=DEFAULT_MEASURE_NS // MS)
     parser.add_argument("--latency-ms", type=int, default=DEFAULT_LATENCY_NS // MS)
+    parser.add_argument("--sched-ms", type=int, default=DEFAULT_SCHED_NS // MS,
+                        help="per-policy window for the scheduler-zoo block")
     parser.add_argument("--output", default=None, help="output path (default BENCH_<rev>.json)")
     parser.add_argument("--no-profile", action="store_true",
                         help="skip the per-event-type run-loop profile")
@@ -371,6 +435,7 @@ def main(argv=None) -> int:
         latency_duration_ns=args.latency_ms * MS,
         profile=not args.no_profile,
         profile_top=args.profile_top if args.profile_top > 0 else 8,
+        sched_duration_ns=args.sched_ms * MS,
     )
     path = write_report(report, args.output)
     print(format_bench(report))

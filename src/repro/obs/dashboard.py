@@ -477,6 +477,56 @@ def _path_table(report: Dict[str, Any]) -> str:
     return "".join(out)
 
 
+def _sched_section(report: Dict[str, Any]) -> str:
+    """Scheduler policy zoo panel (schema v4 ``sched`` block; additive)."""
+    sched = report.get("sched")
+    if not sched:
+        return ""
+    out: List[str] = []
+    rows = []
+    for policy, point in sorted(sched.get("policies", {}).items()):
+        rows.append(
+            f"<tr><td>{_esc(policy)}</td>"
+            f'<td class="num">{point["samples"]:,}</td>'
+            f'<td class="num">{point["mean_ms"]:.3f}</td>'
+            f'<td class="num">{point["p50_ms"]:.3f}</td>'
+            f'<td class="num">{point["p99_ms"]:.3f}</td>'
+            f'<td class="num">{point["max_ms"]:.3f}</td></tr>'
+        )
+    if rows:
+        out.append(
+            '<div class="card"><div class="chart-title">Scheduler policy zoo</div>'
+            '<div class="chart-unit">ping RTT with full ES2 (PI+H+R) per host '
+            "scheduler policy</div><table>"
+            '<tr><th>policy</th><th class="num">samples</th>'
+            '<th class="num">mean ms</th><th class="num">p50 ms</th>'
+            '<th class="num">p99 ms</th><th class="num">max ms</th></tr>'
+            + "".join(rows) + "</table></div>"
+        )
+    adaptive = sched.get("adaptive")
+    if adaptive:
+        stats = adaptive.get("adaptive", {})
+        out.append(
+            '<div class="card"><div class="chart-title">Adaptive backend-CPU '
+            "allocation</div>"
+            '<div class="chart-unit">CFS + adaptive controller re-apportioning '
+            "cores between vhost workers and vCPUs</div><table>"
+            '<tr><th>metric</th><th class="num">value</th></tr>'
+            f'<tr><td>ping p99</td><td class="num">{adaptive["p99_ms"]:.3f} ms</td></tr>'
+            f'<tr><td>evaluations</td><td class="num">{stats.get("evaluations", 0):,}</td></tr>'
+            f'<tr><td>rebalances</td><td class="num">{stats.get("rebalances", 0):,}</td></tr>'
+            f'<tr><td>migrations</td><td class="num">{stats.get("migrations", 0):,}</td></tr>'
+            f'<tr><td>backend cores</td><td class="num">'
+            f'{_esc(stats.get("backend_cores", []))}</td></tr>'
+            f'<tr><td>vCPU cores</td><td class="num">'
+            f'{_esc(stats.get("vcpu_cores", []))}</td></tr>'
+            "</table></div>"
+        )
+    if not out:
+        return ""
+    return "<h2>Scheduler policies</h2>" + "".join(out)
+
+
 def _gap_histograms(report: Dict[str, Any]) -> str:
     hists = report.get("profile", {}).get("gap_histograms", {})
     out = []
@@ -519,6 +569,7 @@ def render_dashboard(report: Dict[str, Any]) -> str:
         + "<h2>Windowed telemetry</h2>"
         + _crosscheck_table(report)
         + _timeline_sections(report)
+        + _sched_section(report)
         + "<h2>Event-path attribution</h2>"
         + _path_table(report)
         + "<h2>Simulator profile</h2>"

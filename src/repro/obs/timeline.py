@@ -47,7 +47,7 @@ DEFAULT_WINDOW_NS = 100_000
 #: Counter-group prefixes sampled when none are given: the subsystems the
 #: paper's argument is made of.  ``None`` entries in a user-supplied list
 #: are rejected; an empty tuple samples nothing (gauges only).
-DEFAULT_PREFIXES = ("kvm", "vhost", "virtio", "es2")
+DEFAULT_PREFIXES = ("kvm", "vhost", "virtio", "es2", "sched")
 
 
 class WindowSample:

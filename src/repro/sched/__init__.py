@@ -1,4 +1,4 @@
-"""Host scheduling: threads, per-core CFS runqueues, preemption notifiers.
+"""Host scheduling: threads, pluggable per-core runqueues, preemption notifiers.
 
 The execution model is cooperative generators with *exact preemption*:
 thread bodies are generator coroutines yielding :class:`~repro.sched.thread.Consume`
@@ -8,10 +8,25 @@ either by the scheduler (tick/wakeup preemption, transparent to the thread)
 or by an interrupt poke (the thread is resumed early with the amount of CPU
 actually consumed).  This gives microsecond-exact interrupt latency without
 chopping work into tiny events.
+
+Per-core runqueues implement the :class:`~repro.sched.policy.SchedPolicy`
+interface; the shipped zoo is CFS (default), round-robin, multilevel
+feedback queue, and deadline, selected by ``SchedParams.policy`` /
+``--sched-policy`` / ``REPRO_SCHED_POLICY``.
 """
 
 from repro.sched.thread import Block, Consume, CpuMode, Thread, YieldCPU
+from repro.sched.policy import (
+    POLICIES,
+    SchedPolicy,
+    available_policies,
+    make_runqueue,
+    register_policy,
+    resolve_policy_name,
+)
 from repro.sched.cfs import CfsRunqueue, nice_to_weight
+from repro.sched.policies import DeadlineQueue, MultilevelFeedbackQueue, RoundRobinQueue
+from repro.sched.adaptive import AdaptiveAllocator
 from repro.sched.notifier import PreemptionNotifier, NotifierSet
 
 __all__ = [
@@ -20,7 +35,17 @@ __all__ = [
     "Block",
     "YieldCPU",
     "CpuMode",
+    "SchedPolicy",
+    "POLICIES",
+    "available_policies",
+    "make_runqueue",
+    "register_policy",
+    "resolve_policy_name",
     "CfsRunqueue",
+    "RoundRobinQueue",
+    "MultilevelFeedbackQueue",
+    "DeadlineQueue",
+    "AdaptiveAllocator",
     "nice_to_weight",
     "PreemptionNotifier",
     "NotifierSet",

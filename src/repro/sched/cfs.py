@@ -14,18 +14,32 @@ This reproduces the CFS behaviours that matter for the paper:
 vCPU threads are deliberately indistinguishable from other threads here —
 exactly the property (Section V-B) that forces ES2 to use preemption
 notifiers rather than scheduler modifications.
+
+The queued set is kept in a lazy-deletion binary heap ordered by
+``(vruntime, tid)``.  A thread's vruntime only changes while it is *running*
+(``update_curr``) or at enqueue placement — never while queued — so heap
+order stays valid without rebalancing and ``pick_next`` / ``leftmost`` are
+O(log n) instead of the previous O(n) scan plus O(n) ``list.remove``.
+
+``min_vruntime`` has exactly one maintainer, :meth:`_advance_min_vruntime`
+(monotone, like Linux's ``update_min_vruntime``), called from every point
+where the floor can legitimately move: ``update_curr`` while a thread runs,
+and ``pick_next`` when a thread takes the CPU.  The latter matters for
+wakeup placement: a thread woken during the context-switch window is placed
+against a floor that already accounts for the just-picked thread, instead
+of the stale value a long-idle queue would otherwise hand out as extra
+sleeper credit.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, TYPE_CHECKING
+import heapq
+from typing import Dict, List, Optional
 
 from repro.config import SchedParams
 from repro.errors import SchedulerError
-from repro.sched.thread import Thread, ThreadState
-
-if TYPE_CHECKING:  # pragma: no cover
-    pass
+from repro.sched.policy import SchedPolicy, register_policy
+from repro.sched.thread import Thread
 
 __all__ = ["CfsRunqueue", "nice_to_weight", "NICE_0_WEIGHT"]
 
@@ -51,25 +65,28 @@ def nice_to_weight(nice: int) -> int:
     return _PRIO_TO_WEIGHT[nice + 20]
 
 
-class CfsRunqueue:
+@register_policy
+class CfsRunqueue(SchedPolicy):
     """Runnable queue for one core.  The *current* thread is tracked by the
     core itself; this queue holds only threads waiting for the CPU."""
 
+    name = "cfs"
+
     def __init__(self, params: SchedParams):
-        self.params = params
-        self.queue: List[Thread] = []
+        super().__init__(params)
         self.min_vruntime = 0
-        #: total weight of queued threads (excluding current)
-        self.queued_weight = 0
+        # Heap entries are [vruntime, tid, seq, thread]; dequeue marks the
+        # thread slot None (lazy deletion) and pops skip dead entries.  The
+        # seq counter keeps entries totally ordered so two entries for the
+        # same (vruntime, tid) — one dead, one live — never compare threads.
+        self._heap: List[list] = []
+        self._entries: Dict[int, list] = {}
+        self._seq = 0
 
     # ------------------------------------------------------------- queue ops
-    def __len__(self) -> int:
-        return len(self.queue)
-
     def enqueue(self, thread: Thread, wakeup: bool) -> None:
         """Add a runnable thread; apply sleeper placement if it just woke."""
-        if thread in self.queue:
-            raise SchedulerError(f"{thread.name} enqueued twice")
+        self._note_enqueued(thread)
         if wakeup:
             # Sleeper credit: a woken task is placed at most half a latency
             # period behind min_vruntime so it preempts hogs promptly but
@@ -78,78 +95,75 @@ class CfsRunqueue:
             thread.vruntime = max(thread.vruntime, self.min_vruntime - bonus)
         else:
             thread.vruntime = max(thread.vruntime, self.min_vruntime)
-        self.queue.append(thread)
-        self.queued_weight += thread.weight
-        thread.state = ThreadState.READY
+        self._seq += 1
+        entry = [thread.vruntime, thread.tid, self._seq, thread]
+        self._entries[thread.tid] = entry
+        heapq.heappush(self._heap, entry)
 
     def dequeue(self, thread: Thread) -> None:
         """Remove a thread from the runnable queue."""
-        try:
-            self.queue.remove(thread)
-        except ValueError:
-            raise SchedulerError(f"{thread.name} not on this runqueue") from None
-        self.queued_weight -= thread.weight
+        self._note_dequeued(thread)
+        self._entries.pop(thread.tid)[3] = None
 
     def pick_next(self) -> Optional[Thread]:
         """Remove and return the leftmost (minimum-vruntime) thread."""
-        if not self.queue:
+        entry = self._peek()
+        if entry is None:
             return None
-        best = min(self.queue, key=lambda t: (t.vruntime, t.tid))
+        best = entry[3]
         self.dequeue(best)
+        # The picked thread is about to become current: fold it into the
+        # floor so wakeups landing during the switch see an up-to-date
+        # min_vruntime (stale-sleeper-credit fix).
+        self._advance_min_vruntime(best)
         return best
+
+    def _peek(self) -> Optional[list]:
+        """The live leftmost heap entry, discarding dead ones (None if empty)."""
+        heap = self._heap
+        while heap and heap[0][3] is None:
+            heapq.heappop(heap)
+        return heap[0] if heap else None
 
     def leftmost_vruntime(self) -> Optional[int]:
         """Smallest vruntime among queued threads (None if empty)."""
-        if not self.queue:
-            return None
-        return min(t.vruntime for t in self.queue)
+        entry = self._peek()
+        return None if entry is None else entry[0]
 
     # ----------------------------------------------------------- accounting
     def update_curr(self, thread: Thread, delta_ns: int) -> None:
         """Advance the running thread's vruntime by a weighted ``delta_ns``."""
         if delta_ns < 0:
             raise SchedulerError("negative runtime delta")
-        v = thread.vruntime + delta_ns * NICE_0_WEIGHT // thread.weight
-        thread.vruntime = v
-        # Allocation-free _advance_min_vruntime(thread): min_vruntime moves
-        # up to min(current.vruntime, leftmost queued vruntime), never down.
-        for queued in self.queue:
-            qv = queued.vruntime
-            if qv < v:
-                v = qv
-        if v > self.min_vruntime:
-            self.min_vruntime = v
+        thread.vruntime += delta_ns * NICE_0_WEIGHT // thread.weight
+        self._advance_min_vruntime(thread)
 
     def _advance_min_vruntime(self, current: Optional[Thread]) -> None:
-        candidates = []
-        if current is not None:
-            candidates.append(current.vruntime)
+        """The sole ``min_vruntime`` maintainer (``update_min_vruntime``).
+
+        Moves the floor up to ``min(current.vruntime, leftmost queued)``,
+        never down.
+        """
+        v = None if current is None else current.vruntime
         left = self.leftmost_vruntime()
-        if left is not None:
-            candidates.append(left)
-        if candidates:
-            self.min_vruntime = max(self.min_vruntime, min(candidates))
+        if left is not None and (v is None or left < v):
+            v = left
+        if v is not None and v > self.min_vruntime:
+            self.min_vruntime = v
 
     # --------------------------------------------------------------- policy
-    def nr_running(self, current: Optional[Thread]) -> int:
-        """Runnable thread count including the current one."""
-        return len(self.queue) + (1 if current is not None else 0)
-
-    def total_weight(self, current: Optional[Thread]) -> int:
-        """Total CFS load weight including the current thread."""
-        return self.queued_weight + (current.weight if current is not None else 0)
-
     def sched_slice(self, thread: Thread, current: Optional[Thread]) -> int:
         """The slice ``thread`` is entitled to in the current period."""
+        stranger = thread is not current and not self.has(thread)
         nr = self.nr_running(current)
-        if thread is not current and thread not in self.queue:
+        if stranger:
             nr += 1
         period = self.params.sched_latency_ns
         lat_tasks = max(1, self.params.sched_latency_ns // self.params.min_granularity_ns)
         if nr > lat_tasks:
             period = nr * self.params.min_granularity_ns
         total = self.total_weight(current)
-        if thread is not current and thread not in self.queue:
+        if stranger:
             total += thread.weight
         if total <= 0:
             return period
@@ -157,14 +171,15 @@ class CfsRunqueue:
 
     def should_preempt_on_tick(self, current: Thread, ran_ns: int) -> bool:
         """Slice-expiry check performed from the scheduler tick."""
-        if not self.queue:
+        left = self.leftmost_vruntime()
+        if left is None:
             return False
-        if ran_ns > self.sched_slice(current, current):
+        slice_ns = self.sched_slice(current, current)
+        if ran_ns > slice_ns:
             return True
         # Don't let a far-ahead current run below a waiting leftmost task.
-        left = self.leftmost_vruntime()
-        if left is not None and ran_ns > self.params.min_granularity_ns:
-            if current.vruntime - left > self.sched_slice(current, current) * NICE_0_WEIGHT // current.weight:
+        if ran_ns > self.params.min_granularity_ns:
+            if current.vruntime - left > slice_ns * NICE_0_WEIGHT // current.weight:
                 return True
         return False
 

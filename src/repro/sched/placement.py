@@ -3,6 +3,10 @@
 Mirrors the relevant slice of ``select_task_rq_fair``: pinned threads go to
 their core; otherwise prefer the previous core if idle (cache affinity),
 then any idle core, then the least-loaded runqueue.
+
+When an :class:`~repro.sched.adaptive.AdaptiveAllocator` is installed, the
+candidate set for unpinned vhost-backend and vCPU threads is narrowed to
+their class's current core allocation before the affinity logic runs.
 """
 
 from __future__ import annotations
@@ -23,6 +27,8 @@ class Placement:
 
     def __init__(self, machine: "Machine"):
         self.machine = machine
+        #: installed by AdaptiveAllocator.start(); None leaves stock behaviour
+        self.allocator = None
 
     def enqueue_woken(self, thread: Thread) -> None:
         """Select a core for a woken thread and enqueue it there."""
@@ -38,9 +44,15 @@ class Placement:
                     f"{thread.name} pinned to nonexistent core {thread.pinned_core}"
                 )
             return cores[thread.pinned_core]
+        restricted = False
+        if self.allocator is not None:
+            allowed = self.allocator.cores_for(thread)
+            if allowed:
+                cores = allowed
+                restricted = True
         # Cache affinity: previous core if idle.
         prev = thread.core
-        if prev is not None and prev.is_idle:
+        if prev is not None and prev.is_idle and (not restricted or prev in cores):
             return prev
         idle = [c for c in cores if c.is_idle]
         if idle:

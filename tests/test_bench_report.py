@@ -74,6 +74,7 @@ def test_cli_main_writes_artifact(tmp_path, capsys):
         "--warmup-ms", "5",
         "--measure-ms", "15",
         "--latency-ms", "50",
+        "--sched-ms", "40",
         "--no-profile",
         "--output", str(out),
     ])
@@ -86,6 +87,9 @@ def test_cli_main_writes_artifact(tmp_path, capsys):
         "warmup_ns": 5 * 10**6,
         "measure_ns": 15 * 10**6,
         "latency_duration_ns": 50 * 10**6,
+        "sched_duration_ns": 40 * 10**6,
     }
+    assert set(report["sched"]["policies"]) == {"cfs", "rr", "mlfq", "deadline"}
+    assert report["sched"]["adaptive"]["samples"] > 0
     printed = capsys.readouterr().out
     assert "bench report" in printed and str(out) in printed

@@ -1,0 +1,149 @@
+"""Policy-conformance property suite: every registered scheduler policy
+obeys the same runqueue conservation laws.
+
+The dispatch engine only sees the :class:`~repro.sched.policy.SchedPolicy`
+interface, so every policy must keep the invariants the engine (and the
+invariant watchdog) rely on:
+
+* ``queued_weight`` always equals the sum of queued threads' weights;
+* no thread is ever lost or duplicated by enqueue/dequeue/pick_next;
+* with a fixed population of CPU hogs, every thread eventually runs
+  (no starvation);
+* CFS only: ``min_vruntime`` never moves backwards.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import SchedParams
+from repro.errors import SchedulerError
+from repro.sched.policy import available_policies, make_runqueue
+from repro.sched.thread import Consume, CpuMode, Thread, ThreadState
+from repro.units import MS, US
+from tests.conftest import make_machine
+
+POLICIES = ("cfs", "rr", "mlfq", "deadline")
+
+
+class HogThread(Thread):
+    def body(self):
+        while True:
+            yield Consume(MS, CpuMode.KERNEL)
+
+
+def make_rq(policy):
+    return make_runqueue(SchedParams(policy=policy))
+
+
+def test_all_expected_policies_registered():
+    assert set(POLICIES) <= set(available_policies())
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+class TestRunqueueConservation:
+    def test_queued_weight_matches_members(self, policy, machine):
+        """Randomized enqueue/dequeue/pick_next churn keeps the membership
+        map, ``queued_weight`` and ``__len__`` mutually consistent."""
+        rq = make_rq(policy)
+        rng = random.Random(0xE52 + len(policy))
+        threads = [
+            HogThread(machine, f"{policy}-t{i}", nice=rng.choice((-5, 0, 0, 5)))
+            for i in range(12)
+        ]
+        queued = {}
+        for _ in range(500):
+            op = rng.random()
+            if (op < 0.5 and len(queued) < len(threads)) or not queued:
+                t = rng.choice([t for t in threads if t.tid not in queued])
+                rq.enqueue(t, wakeup=rng.random() < 0.5)
+                queued[t.tid] = t
+            elif op < 0.75:
+                t = rng.choice(list(queued.values()))
+                rq.dequeue(t)
+                del queued[t.tid]
+            else:
+                t = rq.pick_next()
+                assert t is not None
+                del queued[t.tid]
+                # the picked thread becomes "current"; charge it some time
+                rq.update_curr(t, rng.randrange(10 * US, 2 * MS))
+            assert len(rq) == len(queued)
+            assert rq.queued_weight == sum(t.weight for t in queued.values())
+            assert {t.tid for t in rq.threads()} == set(queued)
+        # drain: every queued thread comes back out exactly once
+        drained = []
+        while len(rq):
+            drained.append(rq.pick_next().tid)
+        assert sorted(drained) == sorted(queued)
+        assert rq.pick_next() is None
+        assert rq.queued_weight == 0
+
+    def test_no_thread_lost_or_duplicated(self, policy, machine):
+        rq = make_rq(policy)
+        threads = [HogThread(machine, f"{policy}-d{i}") for i in range(10)]
+        for i, t in enumerate(threads):
+            t.vruntime = i * MS
+            rq.enqueue(t, wakeup=(i % 2 == 0))
+        picked = []
+        while len(rq):
+            picked.append(rq.pick_next())
+        assert sorted(t.tid for t in picked) == sorted(t.tid for t in threads)
+
+    def test_double_enqueue_rejected(self, policy, machine):
+        rq = make_rq(policy)
+        t = HogThread(machine, f"{policy}-x")
+        rq.enqueue(t, wakeup=False)
+        with pytest.raises(SchedulerError):
+            rq.enqueue(t, wakeup=True)
+
+    def test_dequeue_unknown_rejected(self, policy, machine):
+        rq = make_rq(policy)
+        with pytest.raises(SchedulerError):
+            rq.dequeue(HogThread(machine, f"{policy}-y"))
+
+    def test_no_starvation_with_fixed_population(self, policy, sim):
+        """Five hogs on one core: every one of them gets CPU time.
+
+        This is the engine-level starvation check — MLFQ's periodic boost
+        and deadline's runtime throttle exist exactly so this holds.
+        """
+        m = make_machine(sim, n_cores=1, sched_params=SchedParams(policy=policy))
+        threads = [HogThread(m, f"hog{i}", pinned_core=0) for i in range(5)]
+        # stagger vruntimes so CFS doesn't start from a symmetric state
+        for i, t in enumerate(threads):
+            t.vruntime = i * MS
+            m.spawn(t)
+        sim.run_until(500 * MS)
+        for t in threads:
+            assert t.state in (ThreadState.RUNNING, ThreadState.READY)
+            assert t.sum_exec > 10 * MS, f"{t.name} starved under {policy}"
+        total = sum(t.sum_exec for t in threads)
+        assert total > int(0.9 * 500 * MS)
+
+
+class TestCfsMinVruntimeMonotone:
+    def test_monotone_under_random_ops(self, machine):
+        rq = make_rq("cfs")
+        rng = random.Random(7)
+        threads = [HogThread(machine, f"m{i}") for i in range(8)]
+        queued = {}
+        floor = rq.min_vruntime
+        for _ in range(600):
+            op = rng.random()
+            if (op < 0.5 and len(queued) < len(threads)) or not queued:
+                t = rng.choice([t for t in threads if t.tid not in queued])
+                rq.enqueue(t, wakeup=rng.random() < 0.5)
+                queued[t.tid] = t
+            elif op < 0.7:
+                t = rng.choice(list(queued.values()))
+                rq.dequeue(t)
+                del queued[t.tid]
+            else:
+                t = rq.pick_next()
+                del queued[t.tid]
+                rq.update_curr(t, rng.randrange(10 * US, 3 * MS))
+            assert rq.min_vruntime >= floor, "min_vruntime moved backwards"
+            floor = rq.min_vruntime

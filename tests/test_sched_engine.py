@@ -179,6 +179,48 @@ class TestBlockingAndWakeup:
         assert 7 * MS <= w.woken_at <= 7 * MS + 2 * m.cost.ctx_switch_ns
 
 
+class TestMidSwitchWakeup:
+    def test_wakeup_during_switch_preempts_at_boundary(self, sim):
+        """A wakeup landing inside the context-switch window must not lose
+        its preemption decision: the engine re-runs the check at the switch
+        boundary, so the woken thread preempts immediately rather than
+        waiting out the incoming hog's tick-granularity slice."""
+        m = make_machine(sim, n_cores=1)
+        ctx = m.cost.ctx_switch_ns
+        hog = BusyThread(m, "hog", pinned_core=0)
+        hog.vruntime = 20 * MS  # far ahead: any fresh waker beats it
+        m.spawn(hog)  # switch-in window is [0, ctx)
+        w = FiniteThread(m, "w", total=2 * MS, pinned_core=0)
+        sim.schedule(ctx // 2, lambda: m.spawn(w))  # lands mid-switch
+        sim.run_until(SEC)
+        assert w.state is ThreadState.FINISHED
+        # hog's switch lands at ctx, w preempts before hog's first segment,
+        # switches in by 2*ctx and runs its 2 ms uninterrupted.  Without the
+        # boundary re-check w waited for hog's slice (milliseconds).
+        assert w.done_at == 2 * ctx + 2 * MS
+
+    def test_nonwakeup_enqueue_during_switch_does_not_preempt(self, sim):
+        """Migration-style (non-wakeup) enqueues during a switch just queue:
+        the incoming thread keeps the CPU."""
+        m = make_machine(sim, n_cores=1)
+        ctx = m.cost.ctx_switch_ns
+        hog = BusyThread(m, "hog", pinned_core=0)
+        hog.vruntime = 20 * MS
+        m.spawn(hog)
+        other = BusyThread(m, "other", pinned_core=0)
+        other.vruntime = 0
+
+        def enqueue_other():
+            other._gen = other.body()
+            m.cores[0].enqueue(other, wakeup=False)
+
+        sim.schedule(ctx // 2, enqueue_other)
+        sim.run_until(10 * MS)
+        # hog switched in and ran until the first tick-driven preemption
+        # point; "other" never preempted it at the switch boundary.
+        assert hog.sum_exec >= m.sched_params.min_granularity_ns
+
+
 class TestPreemptionExactness:
     def test_segment_survives_preemption(self, sim):
         """A long CPU request completes with exactly the requested time even

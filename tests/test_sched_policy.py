@@ -128,6 +128,61 @@ class TestRunqueue:
         assert rq.should_preempt_on_wakeup(curr, woken) is True
 
 
+class TestMinVruntimeUnification:
+    """Regression tests for the unified min_vruntime maintenance path."""
+
+    def test_pick_next_advances_min_vruntime(self, machine):
+        # Before unification pick_next left min_vruntime at its stale value,
+        # so the floor only moved when update_curr ran on the same queue.
+        rq = make_rq()
+        t = make_thread(machine, "t")
+        t.vruntime = 50 * MS
+        rq.enqueue(t, wakeup=False)
+        assert rq.min_vruntime == 0
+        assert rq.pick_next() is t
+        assert rq.min_vruntime == 50 * MS
+
+    def test_waker_placed_against_advanced_floor(self, machine):
+        # The observable consequence of the stale floor: a thread waking
+        # after the queue has progressed got an unbounded head start instead
+        # of the capped sleeper credit.
+        rq = make_rq()
+        t = make_thread(machine, "t")
+        t.vruntime = 50 * MS
+        rq.enqueue(t, wakeup=False)
+        rq.pick_next()
+        w = make_thread(machine, "w")
+        w.vruntime = 0
+        rq.enqueue(w, wakeup=True)
+        assert w.vruntime == 50 * MS - rq.params.sleeper_bonus_ns // 2
+
+    def test_floor_never_overshoots_leftmost_waiter(self, machine):
+        rq = make_rq()
+        a = make_thread(machine, "a")
+        b = make_thread(machine, "b")
+        a.vruntime, b.vruntime = 10 * MS, 30 * MS
+        rq.enqueue(a, wakeup=False)
+        rq.enqueue(b, wakeup=False)
+        current = rq.pick_next()
+        assert current is a
+        assert rq.min_vruntime == 10 * MS
+        # the running thread races far ahead; the floor stops at the waiter
+        rq.update_curr(current, 100 * MS)
+        assert rq.min_vruntime == 30 * MS
+
+    def test_dequeue_does_not_move_the_floor(self, machine):
+        # dequeue has no current-thread context, so it must leave the floor
+        # alone rather than guess (it could overshoot the incoming current).
+        rq = make_rq()
+        a = make_thread(machine, "a")
+        b = make_thread(machine, "b")
+        a.vruntime, b.vruntime = 5 * MS, 40 * MS
+        rq.enqueue(a, wakeup=False)
+        rq.enqueue(b, wakeup=False)
+        rq.dequeue(a)
+        assert rq.min_vruntime == 0
+
+
 class TestPlacement:
     def test_pinned_thread_goes_to_its_core(self, sim):
         m = make_machine(sim, n_cores=4)
