@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test lint bench-smoke sched-sweep bench bench-compare profile trace-smoke dashboard determinism ci experiments
+.PHONY: test lint bench-smoke sched-sweep bench bench-compare profile trace-smoke dashboard determinism ci experiments flow flow-smoke
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -57,8 +57,24 @@ trace-smoke:
 determinism:
 	$(PYTHON) scripts/determinism_guard.py
 
-ci: lint test bench-smoke determinism
+# Mirror of the GitHub workflow job list (.github/workflows/ci.yml) so
+# local and hosted CI agree:
+#   lint -> lint, test -> test (the sched-conformance matrix re-runs a
+#   subset of it), bench-smoke -> bench-smoke, sched-sweep -> sched-sweep,
+#   determinism -> determinism, trace-smoke + bench-compare -> path-trace,
+#   flow-smoke -> experiments-dag.
+ci: lint test bench-smoke sched-sweep determinism trace-smoke bench-compare flow-smoke
 
-# The full paper reproduction (long; parallel + cached by default).
+# The full paper reproduction (long; resumable DAG, parallel + cached).
 experiments:
 	PYTHONPATH=src $(PYTHON) scripts/run_all_experiments.py
+
+# The experiment DAG, full parameters (same outputs as `make experiments`).
+flow:
+	PYTHONPATH=src $(PYTHON) -m repro flow run --print-report
+
+# Reduced DAG twice: the second run must resolve every task from cache —
+# the same resume/incremental-re-run proof the experiments-dag CI job runs.
+flow-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro flow run --mode reduced --state-dir .flow
+	PYTHONPATH=src $(PYTHON) -m repro flow run --mode reduced --state-dir .flow --assert-cached

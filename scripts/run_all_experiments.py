@@ -1,37 +1,24 @@
 #!/usr/bin/env python3
 """Run every paper experiment and print the results (EXPERIMENTS.md source).
 
-This is the long-form run behind EXPERIMENTS.md; the benchmark suite runs
-the same experiments with shorter windows.  Sweep points fan out over
-worker processes (``--jobs``, default: all CPUs) and completed points are
-reused from the on-disk result cache unless ``--no-cache`` is given.
+This is now a thin shim over the DAG runner (``python -m repro flow run``):
+the same experiments, parameterized identically, but orchestrated as a
+dependency-aware graph with resumable per-task state — a failed stage no
+longer aborts the stages after it, re-invocations resume where they
+stopped, and only tasks whose inputs changed are recomputed.
+
+A failure in one experiment reports which stage failed (and which
+downstream renders were skipped because of it) after the rest of the DAG
+has finished, and the process exits nonzero.
 """
 
 from __future__ import annotations
 
 import argparse
 import os
-import time
+import sys
 
-from repro.experiments.ablations import format_redirect_ablation, run_redirect_policy_ablation
-from repro.experiments.fig4 import format_fig4, run_fig4
-from repro.experiments.fig5 import format_fig5, run_fig5
-from repro.experiments.fig6 import format_fig6, run_fig6
-from repro.experiments.fig7 import format_fig7, run_fig7
-from repro.experiments.fig8 import format_fig8, run_fig8
-from repro.experiments.fig9 import find_knee, format_fig9, run_fig9
-from repro.experiments.schedzoo import format_sched_sweep, run_sched_sweep
-from repro.experiments.sriov import format_sriov, run_sriov
-from repro.experiments.coalescing import format_coalescing, run_coalescing
-from repro.experiments.table1 import format_table1, run_table1
-from repro.units import MS, SEC
-
-WARMUP = 200 * MS
-MEASURE = 500 * MS
-
-
-def stamp(label):
-    print(f"\n===== {label} [{time.strftime('%H:%M:%S')}] =====", flush=True)
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
 
 
 def parse_args(argv=None):
@@ -40,7 +27,8 @@ def parse_args(argv=None):
         "--jobs",
         type=int,
         default=0,
-        help="worker processes for sweeps (0 = all CPUs, 1 = serial)",
+        help="task-level worker processes (0 = all CPUs, 1 = serial — serial "
+             "runs give each sweep all CPUs instead)",
     )
     parser.add_argument(
         "--no-cache",
@@ -52,80 +40,33 @@ def parse_args(argv=None):
         default=None,
         help="result-cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro-es2)",
     )
+    parser.add_argument(
+        "--reduced",
+        action="store_true",
+        help="reduced mode: short windows + trimmed grids (the CI configuration)",
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="ignore persisted flow state and recompute every task",
+    )
     return parser.parse_args(argv)
 
 
-def main(argv=None) -> None:
+def main(argv=None) -> int:
     args = parse_args(argv)
-    jobs = args.jobs
-    cache = not args.no_cache
+    from repro.flow.cli import main as flow_main
+
+    flow_argv = ["run", "--mode", "reduced" if args.reduced else "full",
+                 "--jobs", str(args.jobs), "--print-report"]
+    if args.no_cache:
+        flow_argv.append("--no-cache")
     if args.cache_dir is not None:
-        os.environ["REPRO_CACHE_DIR"] = args.cache_dir
-    t0 = time.monotonic()
-
-    stamp("Table I")
-    print(format_table1(run_table1(seed=1, warmup_ns=WARMUP, measure_ns=MEASURE,
-                                   jobs=jobs, cache=cache)))
-
-    stamp("Fig 4a (UDP)")
-    print(format_fig4(run_fig4("udp", seed=1, warmup_ns=WARMUP, measure_ns=MEASURE,
-                               jobs=jobs, cache=cache), "udp"))
-    stamp("Fig 4a (UDP 1024B)")
-    print(format_fig4(run_fig4("udp", payload_size=1024, quotas=(32, 16, 8), seed=1,
-                               warmup_ns=WARMUP, measure_ns=MEASURE,
-                               jobs=jobs, cache=cache), "udp-1024"))
-    stamp("Fig 4b (TCP)")
-    print(format_fig4(run_fig4("tcp", seed=1, warmup_ns=WARMUP, measure_ns=MEASURE,
-                               jobs=jobs, cache=cache), "tcp"))
-
-    stamp("Fig 5")
-    print(format_fig5(run_fig5(seed=1, warmup_ns=WARMUP, measure_ns=MEASURE,
-                               jobs=jobs, cache=cache)))
-
-    stamp("Fig 6a (send)")
-    send = run_fig6("send", seed=3, warmup_ns=300 * MS, measure_ns=600 * MS,
-                    jobs=jobs, cache=cache)
-    print(format_fig6(send, "send"))
-    stamp("Fig 6b (receive)")
-    recv = run_fig6("receive", seed=3, warmup_ns=300 * MS, measure_ns=600 * MS,
-                    jobs=jobs, cache=cache)
-    print(format_fig6(recv, "receive"))
-
-    stamp("Fig 7")
-    print(format_fig7(run_fig7(seed=3, duration_ns=int(1.5 * SEC), jobs=jobs, cache=cache)))
-
-    stamp("Fig 8a (memcached)")
-    print(format_fig8(run_fig8("memcached", seed=3, warmup_ns=300 * MS, measure_ns=600 * MS,
-                               jobs=jobs, cache=cache), "memcached"))
-    stamp("Fig 8b (apache)")
-    print(format_fig8(run_fig8("apache", seed=3, warmup_ns=300 * MS, measure_ns=600 * MS,
-                               jobs=jobs, cache=cache), "apache"))
-
-    stamp("Fig 9")
-    fig9 = run_fig9(seed=3, duration_ns=2 * SEC, configs=("Baseline", "PI", "PI+H", "PI+H+R"),
-                    jobs=jobs, cache=cache)
-    print(format_fig9(fig9))
-    for cfg in ("Baseline", "PI", "PI+H", "PI+H+R"):
-        print(f"knee[{cfg}] = {find_knee(fig9, cfg)}/s")
-
-    stamp("SR-IOV (Section VII)")
-    print(format_sriov(run_sriov(seed=3, warmup_ns=300 * MS, measure_ns=600 * MS,
-                                 jobs=jobs, cache=cache)))
-
-    stamp("Ablation: redirection policies")
-    print(format_redirect_ablation(run_redirect_policy_ablation(
-        seed=3, duration_ns=int(1.5 * SEC), jobs=jobs, cache=cache)))
-
-    stamp("Ablation: vIC coalescing vs ES2")
-    print(format_coalescing(run_coalescing(seed=5, warmup_ns=WARMUP, measure_ns=MEASURE,
-                                           jobs=jobs, cache=cache)))
-
-    stamp("Scheduler policy zoo x redirection x adaptive allocation")
-    print(format_sched_sweep(run_sched_sweep(seed=3, duration_ns=int(0.8 * SEC),
-                                             jobs=jobs, cache=cache)))
-
-    stamp(f"done in {time.monotonic() - t0:.1f}s")
+        flow_argv.extend(["--cache-dir", args.cache_dir])
+    if args.force:
+        flow_argv.append("--force")
+    return flow_main(flow_argv)
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

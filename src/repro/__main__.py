@@ -122,6 +122,14 @@ def build_parser() -> argparse.ArgumentParser:
         add_help=False,
     )
 
+    # `repro flow` likewise owns its arguments (repro.flow.cli): the
+    # DAG-driven, resumable replacement for running experiments one by one.
+    p = sub.add_parser(
+        "flow",
+        help="run the experiment DAG with resumable per-task state (run/list/status)",
+        add_help=False,
+    )
+
     return parser
 
 
@@ -141,6 +149,10 @@ def main(argv=None) -> int:
         from repro.obs.dashcli import main as dashboard_main
 
         return dashboard_main(argv[1:])
+    if argv and argv[0] == "flow":
+        from repro.flow.cli import main as flow_main
+
+        return flow_main(argv[1:])
     args = build_parser().parse_args(argv)
     warmup = args.warmup_ms * MS
     measure = args.measure_ms * MS

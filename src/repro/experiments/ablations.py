@@ -24,7 +24,11 @@ from repro.parallel import SweepPoint, run_sweep
 from repro.units import MS, SEC
 from repro.workloads.ping import PingWorkload
 
-__all__ = ["run_redirect_policy_ablation", "format_redirect_ablation", "REDIRECT_VARIANTS"]
+__all__ = ["run_redirect_policy_ablation", "format_redirect_ablation", "REDIRECT_VARIANTS",
+           "FLOW_REDUCED"]
+
+#: Reduced-mode overrides for the DAG runner (repro.flow.tasks).
+FLOW_REDUCED = dict(duration_ns=250 * MS)
 
 REDIRECT_VARIANTS: Dict[str, FeatureSet] = {
     "PI (no redirect)": paper_config("PI"),

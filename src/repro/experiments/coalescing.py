@@ -23,7 +23,10 @@ from repro.units import MS, SEC, us
 from repro.workloads.netperf import NetperfUdpReceive
 from repro.workloads.ping import PingWorkload
 
-__all__ = ["CoalescingPoint", "run_coalescing", "format_coalescing"]
+__all__ = ["CoalescingPoint", "run_coalescing", "format_coalescing", "FLOW_REDUCED"]
+
+#: Reduced-mode overrides for the DAG runner (repro.flow.tasks).
+FLOW_REDUCED = dict(warmup_ns=20 * MS, measure_ns=60 * MS, ping_duration_ns=200 * MS)
 
 
 @dataclass

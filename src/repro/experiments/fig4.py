@@ -16,11 +16,17 @@ from repro.experiments.runner import DEFAULT_MEASURE_NS, DEFAULT_WARMUP_NS, meas
 from repro.experiments.testbed import single_vcpu_testbed
 from repro.metrics.report import format_table
 from repro.parallel import SweepPoint, run_sweep
+from repro.units import MS
 from repro.workloads.netperf import NetperfTcpSend, NetperfUdpSend
 
-__all__ = ["QuotaPoint", "run_fig4", "format_fig4"]
+__all__ = ["QuotaPoint", "run_fig4", "format_fig4", "FLOW_REDUCED"]
 
 DEFAULT_QUOTAS = (64, 32, 16, 8, 4, 2)
+
+#: Reduced-mode overrides for the DAG runner (``repro flow run --mode
+#: reduced``): trimmed quota grid + short windows.  Full mode uses the
+#: same parameters as ``scripts/run_all_experiments.py``.
+FLOW_REDUCED = dict(quotas=(16, 4), warmup_ns=20 * MS, measure_ns=60 * MS)
 
 
 @dataclass

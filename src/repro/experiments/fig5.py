@@ -18,6 +18,7 @@ from repro.experiments.runner import DEFAULT_MEASURE_NS, DEFAULT_WARMUP_NS, Meas
 from repro.experiments.testbed import single_vcpu_testbed
 from repro.metrics.report import format_table
 from repro.parallel import SweepPoint, run_sweep
+from repro.units import MS
 from repro.workloads.netperf import (
     NetperfTcpReceive,
     NetperfTcpSend,
@@ -25,7 +26,10 @@ from repro.workloads.netperf import (
     NetperfUdpSend,
 )
 
-__all__ = ["run_fig5", "format_fig5", "FIG5_CONFIGS"]
+__all__ = ["run_fig5", "format_fig5", "FIG5_CONFIGS", "FLOW_REDUCED"]
+
+#: Reduced-mode window overrides for the DAG runner (repro.flow.tasks).
+FLOW_REDUCED = dict(warmup_ns=20 * MS, measure_ns=60 * MS)
 
 FIG5_CONFIGS = ("Baseline", "PI", "PI+H")
 

@@ -17,9 +17,14 @@ from repro.experiments.runner import DEFAULT_MEASURE_NS, DEFAULT_WARMUP_NS, meas
 from repro.experiments.testbed import multiplexed_testbed
 from repro.metrics.report import format_table
 from repro.parallel import SweepPoint, run_sweep
+from repro.units import MS
 from repro.workloads.netperf import NetperfTcpReceive, NetperfTcpSend
 
-__all__ = ["run_fig6", "format_fig6", "DEFAULT_PACKET_SIZES", "DEFAULT_WINDOW_BYTES"]
+__all__ = ["run_fig6", "format_fig6", "DEFAULT_PACKET_SIZES", "DEFAULT_WINDOW_BYTES",
+           "FLOW_REDUCED"]
+
+#: Reduced-mode overrides for the DAG runner: two packet sizes, short windows.
+FLOW_REDUCED = dict(packet_sizes=(256, 1448), warmup_ns=30 * MS, measure_ns=60 * MS)
 
 DEFAULT_PACKET_SIZES = (256, 512, 1024, 1448)
 #: per-flow TCP window (Linux autotuning reaches MB-scale buffers)

@@ -20,7 +20,10 @@ from repro.parallel import SweepPoint, run_sweep
 from repro.units import MS, SEC
 from repro.workloads.ping import PingWorkload
 
-__all__ = ["run_fig7", "format_fig7", "FIG7_CONFIGS"]
+__all__ = ["run_fig7", "format_fig7", "FIG7_CONFIGS", "FLOW_REDUCED"]
+
+#: Reduced-mode overrides for the DAG runner: a short ping run.
+FLOW_REDUCED = dict(duration_ns=250 * MS)
 
 FIG7_CONFIGS = ("Baseline", "PI", "PI+H+R")
 

@@ -13,10 +13,14 @@ from repro.experiments.runner import DEFAULT_MEASURE_NS, DEFAULT_WARMUP_NS
 from repro.experiments.testbed import multiplexed_testbed
 from repro.metrics.report import format_table
 from repro.parallel import SweepPoint, run_sweep
+from repro.units import MS
 from repro.workloads.apache import ApacheWorkload
 from repro.workloads.memcached import MemcachedWorkload
 
-__all__ = ["run_fig8", "format_fig8"]
+__all__ = ["run_fig8", "format_fig8", "FLOW_REDUCED"]
+
+#: Reduced-mode window overrides for the DAG runner (repro.flow.tasks).
+FLOW_REDUCED = dict(warmup_ns=30 * MS, measure_ns=60 * MS)
 
 
 def _fig8_point(

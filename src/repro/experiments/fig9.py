@@ -17,7 +17,11 @@ from repro.parallel import SweepPoint, run_sweep
 from repro.units import SEC
 from repro.workloads.httperf import HttperfWorkload
 
-__all__ = ["run_fig9", "format_fig9", "DEFAULT_RATES", "FIG9_CONFIGS", "find_knee"]
+__all__ = ["run_fig9", "format_fig9", "DEFAULT_RATES", "FIG9_CONFIGS", "find_knee",
+           "FLOW_REDUCED"]
+
+#: Reduced-mode overrides for the DAG runner: three rates, short duration.
+FLOW_REDUCED = dict(rates=(800, 1800, 2600), duration_ns=SEC // 4)
 
 DEFAULT_RATES = (800, 1400, 1800, 2200, 2600, 3000)
 FIG9_CONFIGS = ("Baseline", "PI", "PI+H", "PI+H+R")

@@ -34,7 +34,13 @@ __all__ = [
     "sched_sweep_summary",
     "SCHED_POLICIES",
     "REDIRECTION_MODES",
+    "FLOW_REDUCED",
 ]
+
+#: Reduced-mode overrides for the DAG runner: a 2x2 policy/redirection
+#: corner of the grid, no adaptive leg, short duration.
+FLOW_REDUCED = dict(policies=("cfs", "rr"), modes=("off", "on"),
+                    adaptive=(False,), duration_ns=150 * MS)
 
 SCHED_POLICIES = ("cfs", "rr", "mlfq", "deadline")
 

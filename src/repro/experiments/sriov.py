@@ -24,7 +24,10 @@ from repro.units import MS, SEC
 from repro.workloads.netperf import NetperfTcpSend
 from repro.workloads.ping import PingWorkload
 
-__all__ = ["SriovRun", "run_sriov", "format_sriov", "SRIOV_CONFIGS"]
+__all__ = ["SriovRun", "run_sriov", "format_sriov", "SRIOV_CONFIGS", "FLOW_REDUCED"]
+
+#: Reduced-mode overrides for the DAG runner (repro.flow.tasks).
+FLOW_REDUCED = dict(warmup_ns=30 * MS, measure_ns=60 * MS, ping_duration_ns=200 * MS)
 
 #: Section VII configurations: assigned baseline / VT-d PI / VT-d PI + R.
 SRIOV_CONFIGS: Dict[str, FeatureSet] = {

@@ -15,9 +15,13 @@ from repro.experiments.runner import DEFAULT_MEASURE_NS, DEFAULT_WARMUP_NS, Meas
 from repro.experiments.testbed import single_vcpu_testbed
 from repro.metrics.report import format_table
 from repro.parallel import SweepPoint, run_sweep
+from repro.units import MS
 from repro.workloads.netperf import NetperfTcpSend
 
-__all__ = ["run_table1", "format_table1"]
+__all__ = ["run_table1", "format_table1", "FLOW_REDUCED"]
+
+#: Reduced-mode window overrides for the DAG runner (repro.flow.tasks).
+FLOW_REDUCED = dict(warmup_ns=20 * MS, measure_ns=60 * MS)
 
 
 def _table1_point(

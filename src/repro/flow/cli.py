@@ -1,0 +1,190 @@
+"""``python -m repro flow`` — run the experiment DAG from the shell.
+
+Subcommands::
+
+    repro flow run [--mode full|reduced] [--only TASK ...] [--resume]
+                   [--force] [--dry-run] [--jobs N] [--no-cache]
+                   [--state-dir DIR] [--cache-dir DIR] [--assert-cached]
+                   [--print-report] [--report-out F] [--bench-out F]
+                   [--dashboard-out F]
+    repro flow list [--mode ...]       # print the DAG (topological order)
+    repro flow status [--state-dir]    # summarize the latest flow-state.json
+
+Resume is the default: a re-invocation with unchanged code and
+configuration lands in the same run directory and only re-runs tasks
+whose inputs changed (``--resume`` exists to state that intent
+explicitly; ``--force`` recomputes everything).  ``--assert-cached``
+makes a run fail unless *every* selected task resolved from cache — the
+CI proof that resume/incremental-re-run actually works.
+
+Exit codes: 0 success, 1 task failure (the rest of the DAG still ran and
+the summary names every failed stage), 2 invalid graph/selection
+(unknown task, bad mode), 3 ``--assert-cached`` violated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.flow.graph import FlowError
+from repro.flow.runner import FlowRunner
+from repro.flow.state import FlowState, flow_root
+from repro.flow.tasks import MODES, build_graph
+from repro.parallel.sweep import effective_jobs
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro flow",
+        description="DAG-driven experiment orchestration with resumable state.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run the DAG (resumes by default)")
+    run.add_argument("--mode", choices=MODES, default="full",
+                     help="full = flat-script parameters; reduced = short "
+                          "windows + trimmed grids (what CI runs)")
+    run.add_argument("--only", nargs="+", default=None, metavar="TASK",
+                     help="run only these tasks plus their transitive dependencies")
+    run.add_argument("--resume", action="store_true",
+                     help="resume from persisted state (this is the default; "
+                          "the flag documents intent)")
+    run.add_argument("--force", action="store_true",
+                     help="ignore persisted state and recompute every task")
+    run.add_argument("--dry-run", action="store_true",
+                     help="print what would run vs resolve from cache, then exit")
+    run.add_argument("--jobs", type=int, default=0,
+                     help="task-level worker processes (0 = all CPUs, 1 = serial; "
+                          "serial runs give each sweep all CPUs instead)")
+    run.add_argument("--no-cache", action="store_true",
+                     help="disable the sweep-point result cache inside experiments")
+    run.add_argument("--state-dir", default=None,
+                     help="flow state root (default: $REPRO_FLOW_DIR or <cache>/flow)")
+    run.add_argument("--cache-dir", default=None,
+                     help="sweep result-cache directory (sets REPRO_CACHE_DIR)")
+    run.add_argument("--assert-cached", action="store_true",
+                     help="exit 3 unless every selected task resolved from cache")
+    run.add_argument("--print-report", action="store_true",
+                     help="print the aggregated experiment report after the run")
+    run.add_argument("--report-out", default=None, metavar="FILE",
+                     help="write the aggregated report text to FILE")
+    run.add_argument("--bench-out", default=None, metavar="FILE",
+                     help="write the bench report JSON to FILE")
+    run.add_argument("--dashboard-out", default=None, metavar="FILE",
+                     help="write the dashboard HTML to FILE")
+
+    lst = sub.add_parser("list", help="print the DAG in topological order")
+    lst.add_argument("--mode", choices=MODES, default="full")
+
+    status = sub.add_parser("status", help="summarize the latest flow-state.json")
+    status.add_argument("--state-dir", default=None)
+    return parser
+
+
+def _cmd_list(args) -> int:
+    graph = build_graph(args.mode)
+    order = graph.topological_order()
+    width = max(len(name) for name in order)
+    for name in order:
+        task = graph[name]
+        deps = f" <- {', '.join(task.deps)}" if task.deps else ""
+        print(f"{name:<{width}}  [{task.kind}] {task.description}{deps}")
+    return 0
+
+
+def _cmd_status(args) -> int:
+    root = args.state_dir if args.state_dir is not None else flow_root()
+    path = os.path.join(str(root), "flow-state.json")
+    state = FlowState.load(path)
+    if state is None:
+        print(f"no flow state at {path}")
+        return 1
+    print(f"run {state.run_key} (mode={state.mode}, code={state.code_version})")
+    print(json.dumps(state.last_run, indent=2, sort_keys=True))
+    width = max((len(n) for n in state.tasks), default=4)
+    for name, rec in state.tasks.items():
+        note = "cached" if rec.cached else (f"{rec.wall_s:.1f}s" if rec.wall_s else "")
+        error = f"  {rec.error.strip().splitlines()[-1]}" if rec.error else ""
+        print(f"  {name:<{width}} {rec.status:<8} {note}{error}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    if args.cache_dir is not None:
+        os.environ["REPRO_CACHE_DIR"] = args.cache_dir
+    task_jobs = effective_jobs(args.jobs)
+    # Parallelism lives at exactly one level: many tasks x serial sweeps,
+    # or one task at a time x parallel sweeps.  Results are identical
+    # either way (sweep determinism contract).
+    inner_jobs = 1 if task_jobs > 1 else 0
+    graph = build_graph(args.mode, jobs=inner_jobs, cache=not args.no_cache)
+    runner = FlowRunner(graph, mode=args.mode, state_root=args.state_dir,
+                        jobs=task_jobs)
+
+    if args.dry_run:
+        plan = runner.plan(only=args.only, force=args.force)
+        for entry in plan:
+            print(f"{entry['action']:<7} {entry['task']:<22} [{entry['kind']}]")
+        runnable = sum(1 for e in plan if e["action"] == "run")
+        print(f"dry run: {runnable} to run, {len(plan) - runnable} cached "
+              f"(state: {runner.run_dir.state_path})")
+        return 0
+
+    result = runner.run(only=args.only, force=args.force)
+    for line in result.summary_lines():
+        print(line)
+    print(f"state: {result.state_path}")
+
+    def task_result(name):
+        if name in result.results:
+            return result.results[name]
+        ok, value = runner.load_result(name)
+        return value if ok else None
+
+    if args.print_report or args.report_out:
+        report = task_result("report")
+        if report is not None:
+            if args.print_report:
+                print(report, end="")
+            if args.report_out:
+                with open(args.report_out, "w", encoding="utf-8") as fh:
+                    fh.write(report)
+    if args.bench_out:
+        bench = task_result("bench")
+        if bench is not None:
+            with open(args.bench_out, "w", encoding="utf-8") as fh:
+                json.dump(bench, fh, indent=2, sort_keys=True, allow_nan=False)
+                fh.write("\n")
+    if args.dashboard_out:
+        dashboard = task_result("dashboard")
+        if dashboard is not None:
+            with open(args.dashboard_out, "w", encoding="utf-8") as fh:
+                fh.write(dashboard)
+
+    if args.assert_cached and result.executed:
+        print(f"assert-cached FAILED: {len(result.executed)} task(s) recomputed: "
+              f"{', '.join(result.executed)}", file=sys.stderr)
+        return 3
+    return 0 if result.ok else 1
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list(args)
+        if args.command == "status":
+            return _cmd_status(args)
+        return _cmd_run(args)
+    except FlowError as exc:
+        print(f"flow error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

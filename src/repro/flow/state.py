@@ -1,0 +1,229 @@
+"""Resumable on-disk state for flow runs.
+
+A flow run lives in a **run directory** under ``$REPRO_FLOW_DIR`` (default
+``<cache>/flow``), keyed by the graph's *structure* (task names, deps,
+callables) and mode.  Task kwargs and the ``repro`` code-version hash are
+deliberately not part of the directory key — they live in each task's
+:func:`task_key` — so re-invoking after a parameter or code edit lands in
+the *same* run directory and re-runs exactly the invalidated downstream
+cone, while an identical re-invocation resumes where the previous one
+stopped.
+
+Inside a run directory:
+
+* ``flow-state.json`` — the machine-readable summary: one record per task
+  (status, cache key, output digest, wall seconds, error) plus the counts
+  of the most recent invocation (``executed``/``cached``/``failed``/
+  ``skipped``).  Rewritten atomically after **every** task transition, so
+  a crash mid-run loses at most the in-flight tasks.
+* ``results/<task>.pkl`` — the pickled return value of each completed
+  task, written atomically; dependents and re-invocations load from here.
+
+A task's cache key folds in its dependencies' **output digests**, so a
+task re-runs iff its own declaration changed, the code changed, or any
+upstream output changed — the incremental-re-run contract.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.flow.graph import Task
+from repro.parallel.cache import canonical, code_version, default_cache_dir
+
+__all__ = [
+    "STATE_SCHEMA_VERSION",
+    "FlowState",
+    "TaskRecord",
+    "flow_root",
+    "output_digest",
+    "run_key_for",
+    "task_key",
+]
+
+#: Bump on any backwards-incompatible change to flow-state.json.
+STATE_SCHEMA_VERSION = 1
+
+#: Task lifecycle states recorded in flow-state.json.
+STATUSES = ("pending", "running", "done", "failed", "skipped")
+
+
+def flow_root() -> Path:
+    """``$REPRO_FLOW_DIR`` or ``<result-cache>/flow``."""
+    env = os.environ.get("REPRO_FLOW_DIR")
+    if env:
+        return Path(env)
+    return default_cache_dir() / "flow"
+
+
+def run_key_for(tasks, mode: str) -> str:
+    """Run-directory key: graph *structure* (names, deps, callables) × mode.
+
+    Deliberately excludes task kwargs and the code version — both are
+    folded into each task's :func:`task_key` instead, so editing a
+    parameter or the code re-runs exactly the affected downstream cone
+    *inside the same run directory* rather than orphaning it.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"mode={mode}".encode())
+    for task in tasks:
+        digest.update(
+            f"|{task.name}<-{','.join(task.deps)}"
+            f":{task.fn.__module__}.{task.fn.__qualname__}".encode()
+        )
+    return digest.hexdigest()[:16]
+
+
+def task_key(task: Task, dep_digests: Mapping[str, str]) -> str:
+    """Incremental-re-run key for one task.
+
+    Folds the task's callable, canonical kwargs, the code version, and the
+    output digest of every dependency — so any upstream change invalidates
+    exactly the downstream cone, nothing else.
+    """
+    blob = "|".join(
+        (
+            task.name,
+            f"{task.fn.__module__}.{task.fn.__qualname__}",
+            canonical(task.kwargs),
+            code_version(),
+            *(f"{dep}={dep_digests[dep]}" for dep in task.deps),
+        )
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def output_digest(value: Any) -> str:
+    """Stable content digest of a task result (via :func:`canonical`)."""
+    return hashlib.sha256(canonical(value).encode()).hexdigest()[:16]
+
+
+@dataclass
+class TaskRecord:
+    """Per-task state as persisted in flow-state.json."""
+
+    name: str
+    status: str = "pending"
+    kind: str = "task"
+    key: str = ""  #: task_key() the recorded status/digest belongs to
+    digest: str = ""  #: output_digest() of the persisted result
+    wall_s: float = 0.0  #: seconds spent computing (0.0 when cached)
+    error: str = ""  #: one-line failure reason when status == "failed"/"skipped"
+    cached: bool = False  #: True when the last invocation resolved it from cache
+
+
+@dataclass
+class FlowState:
+    """Everything flow-state.json holds."""
+
+    run_key: str
+    mode: str
+    code_version: str = field(default_factory=code_version)
+    schema: int = STATE_SCHEMA_VERSION
+    tasks: Dict[str, TaskRecord] = field(default_factory=dict)
+    #: counts for the most recent invocation (the CI resume assertion reads
+    #: ``executed`` — a fully-cached re-run must report 0 there).
+    last_run: Dict[str, Any] = field(default_factory=dict)
+
+    def record(self, name: str) -> TaskRecord:
+        """The record for ``name``, created pending on first access."""
+        if name not in self.tasks:
+            self.tasks[name] = TaskRecord(name=name)
+        return self.tasks[name]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": self.schema,
+            "run_key": self.run_key,
+            "mode": self.mode,
+            "code_version": self.code_version,
+            "last_run": dict(self.last_run),
+            "tasks": {name: asdict(rec) for name, rec in self.tasks.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "FlowState":
+        state = cls(
+            run_key=doc["run_key"],
+            mode=doc["mode"],
+            code_version=doc["code_version"],
+            schema=doc["schema"],
+            last_run=dict(doc.get("last_run", {})),
+        )
+        for name, rec in doc.get("tasks", {}).items():
+            known = {f: rec[f] for f in TaskRecord.__dataclass_fields__ if f in rec}
+            state.tasks[name] = TaskRecord(**known)
+        return state
+
+    def save(self, path: os.PathLike) -> None:
+        """Atomic write (temp file + rename), mirroring the result cache."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    @classmethod
+    def load(cls, path: os.PathLike) -> Optional["FlowState"]:
+        """Load a state file; any read/parse failure is a fresh start."""
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+            if doc.get("schema") != STATE_SCHEMA_VERSION:
+                return None
+            return cls.from_dict(doc)
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+
+class RunDirectory:
+    """Filesystem layout of one flow run (state file + result pickles)."""
+
+    def __init__(self, root: Path, run_key: str):
+        self.path = Path(root) / run_key
+        self.state_path = self.path / "flow-state.json"
+        self.results_dir = self.path / "results"
+
+    def result_path(self, name: str) -> Path:
+        return self.results_dir / f"{name}.pkl"
+
+    def store_result(self, name: str, value: Any) -> None:
+        """Persist one task result atomically; failures propagate (a run
+        directory that cannot store results cannot honor resume)."""
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        path = self.result_path(name)
+        fd, tmp = tempfile.mkstemp(dir=str(self.results_dir), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def load_result(self, name: str) -> Tuple[bool, Any]:
+        """``(ok, value)``; any failure degrades to a recompute."""
+        try:
+            with open(self.result_path(name), "rb") as fh:
+                return True, pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ImportError):
+            return False, None

@@ -11,7 +11,7 @@ for every jobs value — see the determinism test in
 
 from repro.parallel.cache import ResultCache, canonical, code_version, default_cache_dir
 from repro.parallel.seeds import derive_seed
-from repro.parallel.sweep import SweepPoint, effective_jobs, run_sweep
+from repro.parallel.sweep import SweepPoint, effective_jobs, pool_context, run_sweep
 
 __all__ = [
     "ResultCache",
@@ -21,5 +21,6 @@ __all__ = [
     "default_cache_dir",
     "derive_seed",
     "effective_jobs",
+    "pool_context",
     "run_sweep",
 ]

@@ -65,6 +65,10 @@ def canonical(value: Any) -> str:
         return "{" + ", ".join(canonical(v) for v in sorted(value, key=repr)) + "}"
     if isinstance(value, (list, tuple)):
         return "[" + ", ".join(canonical(v) for v in value) + "]"
+    if callable(value) and hasattr(value, "__qualname__"):
+        # repr() of a function embeds its memory address, which would make
+        # every cache key unique per process; the dotted name is stable.
+        return f"{getattr(value, '__module__', '?')}.{value.__qualname__}"
     return repr(value)
 
 

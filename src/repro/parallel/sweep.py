@@ -26,7 +26,7 @@ from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Union
 
 from repro.parallel.cache import ResultCache
 
-__all__ = ["SweepPoint", "run_sweep", "effective_jobs"]
+__all__ = ["SweepPoint", "run_sweep", "effective_jobs", "pool_context"]
 
 
 @dataclass(frozen=True)
@@ -57,9 +57,14 @@ def _execute(payload):
     return index, fn(**kwargs)
 
 
-def _pool_context():
-    # fork keeps worker startup cheap and inherits sys.path; fall back to
-    # the platform default where fork is unavailable.
+def pool_context():
+    """The multiprocessing context every repro fan-out shares.
+
+    fork keeps worker startup cheap and inherits sys.path; fall back to
+    the platform default where fork is unavailable.  The flow runner
+    (:mod:`repro.flow.runner`) schedules whole tasks on the same context
+    so sweep-level and task-level parallelism behave identically.
+    """
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context("fork" if "fork" in methods else None)
 
@@ -120,7 +125,7 @@ def run_sweep(
             (index, point_list[index].fn, dict(point_list[index].kwargs))
             for index in pending
         ]
-        with _pool_context().Pool(processes=n_jobs) as pool:
+        with pool_context().Pool(processes=n_jobs) as pool:
             # Completion order is scheduling noise; keying by index makes
             # the merge independent of it.
             for index, value in pool.imap_unordered(_execute, payloads, chunksize=1):

@@ -1,0 +1,232 @@
+"""The DAG core: graph algebra, state schema, runner semantics, resume."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.flow.graph import FlowError, Task, TaskGraph
+from repro.flow.runner import FlowRunner
+from repro.flow.state import FlowState, TaskRecord, output_digest, task_key
+
+# -- module-level task callables (they must cross process boundaries) -----
+
+
+def t_const(deps, value=1):
+    return value
+
+
+def t_sum(deps, add=0):
+    return sum(deps.values()) + add
+
+
+def t_flagged(deps, flag_path, value=10):
+    """Fails while ``flag_path`` exists — the crash-mid-run stand-in."""
+    if os.path.exists(flag_path):
+        raise RuntimeError("simulated mid-run crash")
+    return value + sum(deps.values())
+
+
+def diamond(b_add=0):
+    """a -> (b, c) -> d, the canonical dependency diamond."""
+    return TaskGraph([
+        Task(name="a", fn=t_const, kwargs=dict(value=1)),
+        Task(name="b", fn=t_sum, deps=("a",), kwargs=dict(add=b_add)),
+        Task(name="c", fn=t_sum, deps=("a",), kwargs=dict(add=100)),
+        Task(name="d", fn=t_sum, deps=("b", "c")),
+    ])
+
+
+class TestGraph:
+    def test_diamond_topological_order(self):
+        order = diamond().topological_order()
+        assert order.index("a") < order.index("b")
+        assert order.index("a") < order.index("c")
+        assert order.index("b") < order.index("d")
+        assert order.index("c") < order.index("d")
+        # Deterministic, insertion-seeded order — not just *a* valid order.
+        assert order == ["a", "b", "c", "d"]
+
+    def test_cycle_detected(self):
+        graph = TaskGraph([
+            Task(name="x", fn=t_const, deps=("y",)),
+            Task(name="y", fn=t_const, deps=("x",)),
+        ])
+        with pytest.raises(FlowError, match="cycle"):
+            graph.topological_order()
+
+    def test_self_cycle_detected(self):
+        graph = TaskGraph([Task(name="x", fn=t_const, deps=("x",))])
+        with pytest.raises(FlowError, match="cycle"):
+            graph.validate()
+
+    def test_unknown_dependency_rejected(self):
+        graph = TaskGraph([Task(name="x", fn=t_const, deps=("ghost",))])
+        with pytest.raises(FlowError, match="unknown task 'ghost'"):
+            graph.validate()
+
+    def test_duplicate_name_rejected(self):
+        graph = TaskGraph([Task(name="x", fn=t_const)])
+        with pytest.raises(FlowError, match="duplicate"):
+            graph.add(Task(name="x", fn=t_const))
+
+    def test_closure_pulls_ancestors_only(self):
+        graph = diamond()
+        assert graph.closure(["b"]) == ["a", "b"]
+        assert graph.closure(["d"]) == ["a", "b", "c", "d"]
+        with pytest.raises(FlowError, match="unknown task"):
+            graph.closure(["nope"])
+
+    def test_volatile_kwargs_merged_into_call_not_identity(self):
+        t1 = Task(name="t", fn=t_const, kwargs=dict(value=1), volatile=dict(jobs=1))
+        t2 = Task(name="t", fn=t_const, kwargs=dict(value=1), volatile=dict(jobs=8))
+        assert t1.call_kwargs() == dict(value=1, jobs=1)
+        assert task_key(t1, {}) == task_key(t2, {})
+
+
+class TestState:
+    def test_roundtrip(self, tmp_path):
+        state = FlowState(run_key="k" * 16, mode="reduced")
+        state.tasks["a"] = TaskRecord(name="a", status="done", kind="sweep",
+                                      key="abc", digest="d1", wall_s=1.5, cached=False)
+        state.tasks["b"] = TaskRecord(name="b", status="failed", error="boom")
+        state.last_run = {"executed": 1, "failed": 1}
+        path = tmp_path / "flow-state.json"
+        state.save(path)
+        loaded = FlowState.load(path)
+        assert loaded is not None
+        assert loaded.to_dict() == state.to_dict()
+
+    def test_schema_mismatch_is_fresh_start(self, tmp_path):
+        path = tmp_path / "flow-state.json"
+        doc = FlowState(run_key="k", mode="full").to_dict()
+        doc["schema"] = 999
+        path.write_text(json.dumps(doc))
+        assert FlowState.load(path) is None
+
+    def test_corrupt_file_is_fresh_start(self, tmp_path):
+        path = tmp_path / "flow-state.json"
+        path.write_text("{not json")
+        assert FlowState.load(path) is None
+
+    def test_output_digest_stable_for_equal_values(self):
+        assert output_digest({"b": 2, "a": 1}) == output_digest({"a": 1, "b": 2})
+        assert output_digest([1, 2]) != output_digest([2, 1])
+
+    def test_task_key_folds_dependency_digests(self):
+        task = Task(name="d", fn=t_sum, deps=("b", "c"))
+        base = task_key(task, {"b": "x1", "c": "y1"})
+        assert task_key(task, {"b": "x1", "c": "y1"}) == base
+        assert task_key(task, {"b": "CHANGED", "c": "y1"}) != base
+
+
+def run_quiet(runner, **kwargs):
+    return runner.run(**kwargs)
+
+
+class TestRunner:
+    def test_executes_persists_and_resumes(self, tmp_path):
+        r1 = FlowRunner(diamond(), mode="full", state_root=tmp_path, jobs=1, echo=None)
+        first = run_quiet(r1)
+        assert first.ok and set(first.executed) == {"a", "b", "c", "d"}
+        assert first.results["d"] == 1 + (1 + 100)  # b=1, c=101
+        doc = json.loads((tmp_path / "flow-state.json").read_text())
+        assert doc["last_run"]["executed"] == 4
+        # A fresh runner over the same graph resolves everything from disk.
+        r2 = FlowRunner(diamond(), mode="full", state_root=tmp_path, jobs=1, echo=None)
+        second = run_quiet(r2)
+        assert second.executed == [] and set(second.cached) == {"a", "b", "c", "d"}
+        assert second.results == first.results
+        doc = json.loads((tmp_path / "flow-state.json").read_text())
+        assert doc["last_run"]["executed"] == 0 and doc["last_run"]["cached"] == 4
+
+    def test_incremental_rerun_only_downstream_of_change(self, tmp_path):
+        run_quiet(FlowRunner(diamond(), mode="full", state_root=tmp_path,
+                             jobs=1, echo=None))
+        # Change b's declaration: b and its dependent d recompute; a, c don't.
+        changed = FlowRunner(diamond(b_add=5), mode="full", state_root=tmp_path,
+                             jobs=1, echo=None)
+        result = run_quiet(changed)
+        assert set(result.executed) == {"b", "d"}
+        assert set(result.cached) == {"a", "c"}
+        assert result.results["d"] == (1 + 5) + (1 + 100)
+
+    def test_parallel_matches_serial(self, tmp_path):
+        serial = run_quiet(FlowRunner(diamond(), mode="full",
+                                      state_root=tmp_path / "s", jobs=1, echo=None))
+        parallel = run_quiet(FlowRunner(diamond(), mode="full",
+                                        state_root=tmp_path / "p", jobs=2, echo=None))
+        assert parallel.results == serial.results
+        assert set(parallel.executed) == {"a", "b", "c", "d"}
+
+    def test_only_runs_ancestor_closure(self, tmp_path):
+        runner = FlowRunner(diamond(), mode="full", state_root=tmp_path,
+                            jobs=1, echo=None)
+        result = run_quiet(runner, only=["b"])
+        assert set(result.executed) == {"a", "b"}
+        assert "c" not in result.results and "d" not in result.results
+
+    def _chain_with_flag(self, flag):
+        """a -> b(flagged) -> c -> d, plus independent e."""
+        return TaskGraph([
+            Task(name="a", fn=t_const, kwargs=dict(value=1)),
+            Task(name="b", fn=t_flagged, deps=("a",),
+                 kwargs=dict(flag_path=str(flag))),
+            Task(name="c", fn=t_sum, deps=("b",)),
+            Task(name="d", fn=t_sum, deps=("c",)),
+            Task(name="e", fn=t_const, kwargs=dict(value=7)),
+        ])
+
+    def test_failure_isolates_cone_and_finishes_rest(self, tmp_path):
+        flag = tmp_path / "crash-flag"
+        flag.write_text("")
+        runner = FlowRunner(self._chain_with_flag(flag), mode="full",
+                            state_root=tmp_path, jobs=1, echo=None)
+        result = run_quiet(runner)
+        assert not result.ok
+        assert set(result.failed) == {"b"}
+        assert set(result.skipped) == {"c", "d"}
+        # Independent work still completed — nothing aborted the DAG.
+        assert set(result.executed) == {"a", "e"}
+        summary = "\n".join(result.summary_lines())
+        assert "FAILED  b" in summary and "skipped c" in summary
+        doc = json.loads((tmp_path / "flow-state.json").read_text())
+        assert doc["tasks"]["b"]["status"] == "failed"
+        assert "crash" in doc["tasks"]["b"]["error"]
+        assert doc["tasks"]["d"]["status"] == "skipped"
+
+    def test_crash_mid_run_resume(self, tmp_path):
+        """Kill after task N: 1..N are cache hits on re-run, N+1.. execute."""
+        flag = tmp_path / "crash-flag"
+        flag.write_text("")
+        run_quiet(FlowRunner(self._chain_with_flag(flag), mode="full",
+                             state_root=tmp_path, jobs=1, echo=None))
+        flag.unlink()  # the "crash" condition clears; declaration unchanged
+        result = run_quiet(FlowRunner(self._chain_with_flag(flag), mode="full",
+                                      state_root=tmp_path, jobs=1, echo=None))
+        assert result.ok
+        assert set(result.cached) == {"a", "e"}
+        assert set(result.executed) == {"b", "c", "d"}
+        assert result.results["d"] == 11  # b = 10 + a(1), passed down the chain
+
+    def test_force_recomputes_everything(self, tmp_path):
+        run_quiet(FlowRunner(diamond(), mode="full", state_root=tmp_path,
+                             jobs=1, echo=None))
+        result = run_quiet(FlowRunner(diamond(), mode="full", state_root=tmp_path,
+                                      jobs=1, echo=None), force=True)
+        assert set(result.executed) == {"a", "b", "c", "d"} and not result.cached
+
+    def test_plan_classifies_without_executing(self, tmp_path):
+        runner = FlowRunner(diamond(), mode="full", state_root=tmp_path,
+                            jobs=1, echo=None)
+        plan = runner.plan()
+        assert [e["action"] for e in plan] == ["run"] * 4
+        run_quiet(runner)
+        assert [e["action"] for e in runner.plan()] == ["cached"] * 4
+        # A changed upstream poisons the whole downstream cone in the plan.
+        changed = FlowRunner(diamond(b_add=9), mode="full", state_root=tmp_path,
+                             jobs=1, echo=None)
+        actions = {e["task"]: e["action"] for e in changed.plan()}
+        assert actions == {"a": "cached", "b": "run", "c": "cached", "d": "run"}

@@ -1,0 +1,126 @@
+"""The real reproduction DAG: registry integrity + the flat-runner contract."""
+
+from __future__ import annotations
+
+from repro.flow.runner import FlowRunner
+from repro.flow.state import run_key_for
+from repro.flow.tasks import MODES, build_graph, task_names
+from repro.units import MS, SEC
+
+EXPECTED_SWEEPS = 15
+EXPECTED_TASKS = 1 + 2 * EXPECTED_SWEEPS + 3 + 1  # calibrate, sweeps+renders, bench*3, report
+
+
+class TestRegistry:
+    def test_modes_validate_and_share_one_structure(self):
+        names = {mode: task_names(mode) for mode in MODES}
+        assert names["full"] == names["reduced"]
+        assert len(names["full"]) == len(set(names["full"])) == EXPECTED_TASKS
+
+    def test_every_sweep_is_gated_rendered_and_reported(self):
+        graph = build_graph("full")
+        sweeps = [t for t in graph.tasks if t.kind == "sweep"]
+        assert len(sweeps) == EXPECTED_SWEEPS
+        for task in sweeps:
+            assert task.deps == ("calibrate",)
+            assert f"render-{task.name}" in graph
+        report = graph["report"]
+        assert set(report.deps) == {f"render-{t.name}" for t in sweeps}
+        # The regression gate must not be able to take the report with it.
+        assert "bench-compare" not in report.deps
+        assert graph["bench-compare"].deps == ("bench",)
+        assert graph["dashboard"].deps == ("bench",)
+
+    def test_full_mode_mirrors_flat_script_parameters(self):
+        graph = build_graph("full")
+        assert graph["table1"].kwargs["params"] == dict(
+            seed=1, warmup_ns=200 * MS, measure_ns=500 * MS)
+        assert graph["fig9"].kwargs["params"] == dict(
+            seed=3, duration_ns=2 * SEC,
+            configs=("Baseline", "PI", "PI+H", "PI+H+R"))
+        assert graph["fig4-udp-1024"].kwargs["params"]["quotas"] == (32, 16, 8)
+        assert graph["fig6-send"].kwargs["params"]["warmup_ns"] == 300 * MS
+        assert graph["coalescing"].kwargs["params"]["seed"] == 5
+        assert graph["schedsweep"].kwargs["params"]["duration_ns"] == int(0.8 * SEC)
+
+    def test_reduced_mode_shrinks_every_sweep(self):
+        full, reduced = build_graph("full"), build_graph("reduced")
+        for task in full.tasks:
+            if task.kind != "sweep":
+                continue
+            fp = task.kwargs["params"]
+            rp = reduced[task.name].kwargs["params"]
+            f_span = fp.get("measure_ns", fp.get("duration_ns"))
+            r_span = rp.get("measure_ns", rp.get("duration_ns"))
+            assert r_span < f_span, f"{task.name}: reduced window not shorter"
+            assert rp["seed"] == fp["seed"], f"{task.name}: reduced mode changed the seed"
+
+    def test_inner_jobs_ride_in_volatile_kwargs_only(self):
+        g1 = build_graph("reduced", jobs=1, cache=False)
+        g8 = build_graph("reduced", jobs=8, cache=True)
+        for task in g1.tasks:
+            if task.kind == "sweep":
+                assert task.volatile == dict(jobs=1, cache=False)
+                assert "jobs" not in task.kwargs
+        # Same structure and declarations -> same run directory, whatever
+        # the worker count: resume works across -j values.
+        assert run_key_for(g1.tasks, "reduced") == run_key_for(g8.tasks, "reduced")
+
+    def test_run_keys_stable_across_builds_and_scoped_by_mode(self):
+        assert run_key_for(build_graph("full").tasks, "full") == \
+            run_key_for(build_graph("full").tasks, "full")
+        assert run_key_for(build_graph("full").tasks, "full") != \
+            run_key_for(build_graph("reduced").tasks, "reduced")
+
+
+class TestCli:
+    def test_list_prints_the_dag(self, capsys):
+        from repro.flow.cli import main
+
+        assert main(["list", "--mode", "reduced"]) == 0
+        out = capsys.readouterr().out
+        for name in ("calibrate", "table1", "render-fig9", "bench-compare", "report"):
+            assert name in out
+
+    def test_dry_run_classifies_without_executing(self, capsys, tmp_path):
+        from repro.flow.cli import main
+
+        rc = main(["run", "--mode", "reduced", "--dry-run",
+                   "--state-dir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert f"dry run: {EXPECTED_TASKS} to run, 0 cached" in out
+        # Nothing executed: no run directory contents beyond the state root.
+        assert not any(p.suffix == ".pkl" for p in tmp_path.rglob("*"))
+
+    def test_unknown_only_target_exits_2(self, capsys, tmp_path):
+        from repro.flow.cli import main
+
+        rc = main(["run", "--only", "no-such-task", "--dry-run",
+                   "--state-dir", str(tmp_path)])
+        assert rc == 2
+        assert "unknown task" in capsys.readouterr().err
+
+
+class TestFlatRunnerContract:
+    def test_flow_output_byte_identical_to_flat_call(self, tmp_path, monkeypatch):
+        """The acceptance criterion: the DAG produces the same bytes the
+        flat script's direct call does, for the same parameters."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        from repro.experiments.table1 import FLOW_REDUCED, format_table1, run_table1
+
+        graph = build_graph("reduced", jobs=1, cache=False)
+        runner = FlowRunner(graph, mode="reduced", state_root=tmp_path / "flow",
+                            jobs=1, echo=None)
+        result = runner.run(only=["render-table1"])
+        assert result.ok
+        assert set(result.executed) == {"calibrate", "table1", "render-table1"}
+
+        direct = run_table1(seed=1, jobs=1, cache=False, **FLOW_REDUCED)
+        assert result.results["render-table1"] == format_table1(direct)
+
+        # And the calibration gate recorded sane readouts on the way in.
+        readout = result.results["calibrate"]
+        assert readout["Baseline"]["throughput_gbps"] > 0
+        assert readout["PI+H+R"]["interrupt_delivery_per_sec"] < \
+            readout["Baseline"]["interrupt_delivery_per_sec"]
