@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test lint bench-smoke sched-sweep bench bench-compare profile trace-smoke dashboard determinism ci experiments flow flow-smoke
+.PHONY: test lint bench-smoke sched-sweep bench bench-compare profile trace-smoke dashboard determinism ci experiments flow flow-smoke flow-report flow-dashboard
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -73,8 +73,22 @@ experiments:
 flow:
 	PYTHONPATH=src $(PYTHON) -m repro flow run --print-report
 
-# Reduced DAG twice: the second run must resolve every task from cache —
-# the same resume/incremental-re-run proof the experiments-dag CI job runs.
+# Reduced DAG twice: the second run must resolve every task from cache,
+# and `flow diff` between the cold snapshot and the warm state must show
+# zero recomputed tasks / zero digest changes — the same resume +
+# incremental-re-run proof the experiments-dag CI job runs.
 flow-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro flow run --mode reduced --state-dir .flow
+	cp .flow/flow-state.json .flow-state-cold.json
 	PYTHONPATH=src $(PYTHON) -m repro flow run --mode reduced --state-dir .flow --assert-cached
+	PYTHONPATH=src $(PYTHON) -m repro flow diff .flow-state-cold.json .flow --assert-no-changes
+	PYTHONPATH=src $(PYTHON) -m repro flow report --state-dir .flow
+
+# Critical-path / resource analysis of the latest flow run in .flow.
+flow-report:
+	PYTHONPATH=src $(PYTHON) -m repro flow report --state-dir .flow
+
+# Self-contained Gantt dashboard (critical path, cache map, queue waits)
+# of the latest flow run in .flow.
+flow-dashboard:
+	PYTHONPATH=src $(PYTHON) -m repro flow dashboard --state-dir .flow --output flow-gantt.html

@@ -125,8 +125,16 @@ def main(argv=None) -> int:
 
     baseline = load_report(args.baseline)
     current = load_report(args.current)
-    print(f"baseline: rev={baseline.get('revision')} (schema v{baseline['schema']['version']})")
-    print(f"current:  rev={current.get('revision')} (schema v{current['schema']['version']})")
+    for label, report in (("baseline", baseline), ("current", current)):
+        print(f"{label + ':':<9} rev={report.get('revision')} "
+              f"(schema v{report['schema']['version']})")
+        flow = report.get("flow")
+        if flow:
+            # Provenance stamped by `repro flow run --bench-out`: which
+            # orchestrated run produced this report.
+            print(f"{'':<9} flow run {flow.get('run_key')} "
+                  f"(mode={flow.get('mode')}, jobs={flow.get('jobs')}, "
+                  f"code={flow.get('code_version')})")
     lines, regressions = compare(
         baseline, current,
         max_drop_pct=args.max_throughput_drop,

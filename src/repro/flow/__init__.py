@@ -13,9 +13,13 @@ Entry points: ``python -m repro flow run`` (CLI), or programmatically::
     from repro.flow import FlowRunner, build_graph
     result = FlowRunner(build_graph("reduced"), mode="reduced").run()
 
-See DESIGN.md §15 for the architecture.
+See DESIGN.md §15 for the architecture and §16 for the observability
+layer (per-task resource accounting, critical-path analysis via
+:mod:`repro.obs.flowreport`, and cross-run diffing via
+:mod:`repro.flow.diff`).
 """
 
+from repro.flow.diff import flow_diff, format_flow_diff
 from repro.flow.graph import FlowError, Task, TaskGraph
 from repro.flow.runner import FlowResult, FlowRunner
 from repro.flow.state import FlowState, TaskRecord, flow_root
@@ -31,6 +35,8 @@ __all__ = [
     "TaskGraph",
     "TaskRecord",
     "build_graph",
+    "flow_diff",
     "flow_root",
+    "format_flow_diff",
     "task_names",
 ]

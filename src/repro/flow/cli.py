@@ -8,7 +8,10 @@ Subcommands::
                    [--print-report] [--report-out F] [--bench-out F]
                    [--dashboard-out F]
     repro flow list [--mode ...]       # print the DAG (topological order)
-    repro flow status [--state-dir]    # summarize the latest flow-state.json
+    repro flow status [--state-dir] [--json]
+    repro flow report [--state-dir] [--json] [--out FILE]
+    repro flow dashboard [--state-dir] [--output FILE]
+    repro flow diff A B [--json] [--assert-no-changes]
 
 Resume is the default: a re-invocation with unchanged code and
 configuration lands in the same run directory and only re-runs tasks
@@ -17,9 +20,17 @@ explicitly; ``--force`` recomputes everything).  ``--assert-cached``
 makes a run fail unless *every* selected task resolved from cache — the
 CI proof that resume/incremental-re-run actually works.
 
+The observability trio reads ``flow-state.json`` (live dir or archived
+artifact): ``report`` prints the critical-path/resource analysis
+(:mod:`repro.obs.flowreport`), ``dashboard`` writes the self-contained
+Gantt HTML (:mod:`repro.obs.flowdash`), and ``diff`` compares two runs
+(:mod:`repro.flow.diff`) — ``--assert-no-changes`` turns a clean replay
+into a CI gate (zero recomputed tasks, zero digest changes).
+
 Exit codes: 0 success, 1 task failure (the rest of the DAG still ran and
 the summary names every failed stage), 2 invalid graph/selection
-(unknown task, bad mode), 3 ``--assert-cached`` violated.
+(unknown task, bad mode), 3 ``--assert-cached`` violated, 4
+``flow diff --assert-no-changes`` violated.
 """
 
 from __future__ import annotations
@@ -83,6 +94,38 @@ def build_parser() -> argparse.ArgumentParser:
 
     status = sub.add_parser("status", help="summarize the latest flow-state.json")
     status.add_argument("--state-dir", default=None)
+    status.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the full state document (per-task status, "
+                             "keys, walls, resource accounting) as JSON")
+
+    report = sub.add_parser(
+        "report", help="critical-path / resource analysis of a flow run"
+    )
+    report.add_argument("--state-dir", default=None,
+                        help="state file, run directory, or state root "
+                             "(default: the configured flow root)")
+    report.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the analysis as JSON instead of text")
+    report.add_argument("--out", default=None, metavar="FILE",
+                        help="also write the output to FILE")
+
+    dash = sub.add_parser(
+        "dashboard", help="write the self-contained Gantt dashboard HTML"
+    )
+    dash.add_argument("--state-dir", default=None,
+                      help="state file, run directory, or state root")
+    dash.add_argument("--output", default="flow-gantt.html", metavar="FILE")
+
+    diff = sub.add_parser(
+        "diff", help="compare two flow runs (recomputed set, digests, walls, bench)"
+    )
+    diff.add_argument("run_a", metavar="A",
+                      help="baseline: state file, run directory, or state root")
+    diff.add_argument("run_b", metavar="B", help="candidate: same forms as A")
+    diff.add_argument("--json", action="store_true", dest="as_json")
+    diff.add_argument("--assert-no-changes", action="store_true",
+                      help="exit 4 unless B recomputed nothing and every "
+                           "output digest matches A")
     return parser
 
 
@@ -104,6 +147,9 @@ def _cmd_status(args) -> int:
     if state is None:
         print(f"no flow state at {path}")
         return 1
+    if args.as_json:
+        print(json.dumps(state.to_dict(), indent=2, sort_keys=True))
+        return 0
     print(f"run {state.run_key} (mode={state.mode}, code={state.code_version})")
     print(json.dumps(state.last_run, indent=2, sort_keys=True))
     width = max((len(n) for n in state.tasks), default=4)
@@ -111,6 +157,56 @@ def _cmd_status(args) -> int:
         note = "cached" if rec.cached else (f"{rec.wall_s:.1f}s" if rec.wall_s else "")
         error = f"  {rec.error.strip().splitlines()[-1]}" if rec.error else ""
         print(f"  {name:<{width}} {rec.status:<8} {note}{error}")
+    return 0
+
+
+def _load_state_doc(state_dir):
+    """The raw state document for report/dashboard (default: flow root)."""
+    from repro.flow.diff import resolve_state_path
+
+    spec = state_dir if state_dir is not None else str(flow_root())
+    path = resolve_state_path(spec)
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _cmd_report(args) -> int:
+    from repro.obs.flowreport import flow_report, format_flow_report
+
+    report = flow_report(_load_state_doc(args.state_dir))
+    text = (json.dumps(report, indent=2, sort_keys=True) + "\n"
+            if args.as_json else format_flow_report(report))
+    print(text, end="")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+    return 0
+
+
+def _cmd_dashboard(args) -> int:
+    from repro.obs.flowdash import write_flow_dashboard
+
+    write_flow_dashboard(_load_state_doc(args.state_dir), args.output)
+    print(f"flow dashboard: {args.output}")
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    from repro.flow.diff import flow_diff, format_flow_diff
+
+    diff = flow_diff(args.run_a, args.run_b)
+    if args.as_json:
+        print(json.dumps(diff, indent=2, sort_keys=True))
+    else:
+        print(format_flow_diff(diff), end="")
+    if args.assert_no_changes and not diff["clean"]:
+        print(
+            "assert-no-changes FAILED: "
+            f"{len(diff['recomputed_in_b'])} task(s) recomputed, "
+            f"{len(diff['digest_changed'])} output digest(s) changed",
+            file=sys.stderr,
+        )
+        return 4
     return 0
 
 
@@ -157,6 +253,18 @@ def _cmd_run(args) -> int:
     if args.bench_out:
         bench = task_result("bench")
         if bench is not None:
+            from repro.parallel.cache import code_version
+
+            # Flow provenance: which orchestrated run produced this report.
+            # bench_compare prints it so two reports are always attributable.
+            bench = dict(bench)
+            bench["flow"] = {
+                "run_key": runner.run_key,
+                "mode": args.mode,
+                "jobs": task_jobs,
+                "code_version": code_version(),
+                "state_dir": str(runner.run_dir.path),
+            }
             with open(args.bench_out, "w", encoding="utf-8") as fh:
                 json.dump(bench, fh, indent=2, sort_keys=True, allow_nan=False)
                 fh.write("\n")
@@ -180,6 +288,12 @@ def main(argv=None) -> int:
             return _cmd_list(args)
         if args.command == "status":
             return _cmd_status(args)
+        if args.command == "report":
+            return _cmd_report(args)
+        if args.command == "dashboard":
+            return _cmd_dashboard(args)
+        if args.command == "diff":
+            return _cmd_diff(args)
         return _cmd_run(args)
     except FlowError as exc:
         print(f"flow error: {exc}", file=sys.stderr)

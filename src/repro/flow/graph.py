@@ -49,6 +49,12 @@ class Task:
     volatile: Mapping[str, Any] = field(default_factory=dict)
     kind: str = "task"  #: coarse grouping for display: calibrate/sweep/render/bench/...
     description: str = ""
+    #: wall-clock budget in seconds (None = no budget).  Volatile like the
+    #: runtime knobs: the runner checks and reports overruns, but the
+    #: budget never reaches :func:`~repro.flow.state.task_key` or
+    #: :func:`~repro.flow.state.run_key_for` — editing a budget must not
+    #: invalidate any cached work.
+    budget_s: Optional[float] = None
 
     def call_kwargs(self) -> Dict[str, Any]:
         """The merged kwargs the runner actually calls ``fn`` with."""

@@ -42,15 +42,31 @@ __all__ = ["FlowResult", "FlowRunner"]
 
 
 def _execute_task(name, fn, kwargs, dep_results):
-    """Worker-side shim: run one task, never raise across the pool."""
+    """Worker-side shim: run one task, never raise across the pool.
+
+    Returns ``(name, status, value, wall, error, resources)`` where
+    ``resources`` is the schema-v2 accounting block measured *inside* the
+    executing process: getrusage CPU user/system deltas, peak-RSS growth,
+    the worker id, and the wall-clock start stamp (the parent turns the
+    start stamp into ready→start queue wait).
+    """
     import traceback
 
+    from repro.parallel.rusage import snapshot, usage_delta, worker_id
+
+    started_unix = time.time()
+    before = snapshot()
     t0 = time.monotonic()
     try:
         value = fn(dep_results, **kwargs)
-        return name, "ok", value, time.monotonic() - t0, ""
+        status, error = "ok", ""
     except BaseException:
-        return name, "err", None, time.monotonic() - t0, traceback.format_exc()
+        value, status, error = None, "err", traceback.format_exc()
+    wall = time.monotonic() - t0
+    resources = usage_delta(before, snapshot())
+    resources["worker"] = worker_id()
+    resources["started_unix"] = started_unix
+    return name, status, value, wall, error, resources
 
 
 @dataclass
@@ -63,6 +79,9 @@ class FlowResult:
     failed: Dict[str, str] = field(default_factory=dict)
     skipped: Dict[str, str] = field(default_factory=dict)
     results: Dict[str, Any] = field(default_factory=dict)
+    #: tasks whose execution wall exceeded their declared budget_s,
+    #: mapped to the overrun in seconds (reported, never fatal).
+    over_budget: Dict[str, float] = field(default_factory=dict)
     wall_s: float = 0.0
     state_path: str = ""
 
@@ -82,6 +101,8 @@ class FlowResult:
             lines.append(f"  FAILED  {name}: {reason}")
         for name, reason in self.skipped.items():
             lines.append(f"  skipped {name}: {reason}")
+        for name, over in self.over_budget.items():
+            lines.append(f"  BUDGET  {name}: over wall budget by {over:.1f}s")
         return lines
 
 
@@ -174,7 +195,11 @@ class FlowRunner:
         dead: Dict[str, str] = {}  #: failed/skipped name -> reason
         pending = list(order)
         running: Dict[Any, str] = {}
+        #: wall-clock stamp of the moment each task's last dependency
+        #: completed — the start of its queue wait.
+        ready_at: Dict[str, float] = {}
         n_jobs = min(effective_jobs(self.jobs), max(1, total))
+        state.last_run["jobs"] = n_jobs
         pool = (
             ProcessPoolExecutor(max_workers=n_jobs, mp_context=pool_context())
             if n_jobs > 1
@@ -194,6 +219,8 @@ class FlowRunner:
                     record = state.record(name)
                     record.status, record.error, record.kind = "skipped", reason, task.kind
                     record.cached = False
+                    record.deps = list(task.deps)
+                    record.reset_resources()
                     result.skipped[name] = reason
                     step += 1
                     self.echo(f"[{step:>3}/{total}] {name:<22} skipped ({reason})")
@@ -202,9 +229,12 @@ class FlowRunner:
                 if not all(dep in completed for dep in task.deps):
                     continue
                 pending.remove(name)
+                ready_at.setdefault(name, time.time())
                 key = task_key(task, digests)
                 record = state.record(name)
                 record.kind = task.kind
+                record.deps = list(task.deps)
+                record.budget_s = float(task.budget_s or 0.0)
                 if (
                     not force
                     and record.status == "done"
@@ -212,7 +242,12 @@ class FlowRunner:
                 ):
                     ok, value = self.run_dir.load_result(name)
                     if ok:
+                        # Cache-hit provenance: the resource fields keep
+                        # describing the execution that produced the value;
+                        # only the hit bookkeeping changes.
                         record.cached = True
+                        record.source = "cache"
+                        record.hit_count += 1
                         completed.add(name)
                         digests[name] = record.digest
                         result.cached.append(name)
@@ -222,6 +257,10 @@ class FlowRunner:
                         continue
                 dep_results = {dep: result.results[dep] for dep in task.deps}
                 record.status, record.key, record.cached = "running", key, False
+                # No partial accounting may survive a crash mid-task: zero
+                # everything now, fill it in atomically at completion.
+                record.reset_resources()
+                record.started_unix = time.time()  # submit stamp until the worker reports
                 self._save(state, result)
                 if pool is None:
                     payload = _execute_task(name, task.fn, task.call_kwargs(), dep_results)
@@ -234,10 +273,21 @@ class FlowRunner:
 
         def finish(payload):
             nonlocal step
-            name, status, value, wall, error = payload
+            name, status, value, wall, error, resources = payload
             task = self.graph[name]
             record = state.record(name)
             record.wall_s = wall
+            record.cpu_user_s = resources["cpu_user_s"]
+            record.cpu_sys_s = resources["cpu_sys_s"]
+            record.peak_rss_kb = resources["peak_rss_kb"]
+            record.worker = resources["worker"]
+            record.started_unix = resources["started_unix"]
+            record.finished_unix = record.started_unix + wall
+            record.queue_wait_s = max(
+                0.0, record.started_unix - ready_at.get(name, record.started_unix)
+            )
+            record.source = "executed"
+            record.hit_count = 0
             step += 1
             if status == "ok":
                 self.run_dir.store_result(name, value)
@@ -247,7 +297,13 @@ class FlowRunner:
                 completed.add(name)
                 result.executed.append(name)
                 result.results[name] = value
-                self.echo(f"[{step:>3}/{total}] {name:<22} done    {wall:6.1f}s")
+                note = ""
+                if task.budget_s is not None and wall > task.budget_s:
+                    record.over_budget = True
+                    over = wall - task.budget_s
+                    result.over_budget[name] = over
+                    note = f"  OVER BUDGET ({task.budget_s:.0f}s +{over:.1f}s)"
+                self.echo(f"[{step:>3}/{total}] {name:<22} done    {wall:6.1f}s{note}")
             else:
                 record.status, record.error = "failed", error
                 dead[name] = "failed"
@@ -277,6 +333,7 @@ class FlowRunner:
                 "cached": len(result.cached),
                 "failed": len(result.failed),
                 "skipped": len(result.skipped),
+                "over_budget": len(result.over_budget),
                 "ok": result.ok,
             }
         )

@@ -12,10 +12,16 @@ stopped.
 Inside a run directory:
 
 * ``flow-state.json`` — the machine-readable summary: one record per task
-  (status, cache key, output digest, wall seconds, error) plus the counts
-  of the most recent invocation (``executed``/``cached``/``failed``/
-  ``skipped``).  Rewritten atomically after **every** task transition, so
-  a crash mid-run loses at most the in-flight tasks.
+  (status, cache key, output digest, wall seconds, error, dependency
+  names, and the schema-v2 resource accounting: CPU user/system seconds,
+  peak-RSS delta, ready→start queue wait, worker id, start/finish stamps,
+  budget verdict, cache-hit provenance) plus the counts of the most
+  recent invocation (``executed``/``cached``/``failed``/``skipped``).
+  Rewritten atomically after **every** task transition, so a crash
+  mid-run loses at most the in-flight tasks.  Because the record carries
+  its own ``deps``, downstream consumers (:mod:`repro.obs.flowreport`,
+  :mod:`repro.flow.diff`) can reconstruct the DAG from the state file
+  alone — no live graph required.
 * ``results/<task>.pkl`` — the pickled return value of each completed
   task, written atomically; dependents and re-invocations load from here.
 
@@ -33,7 +39,7 @@ import pickle
 import tempfile
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.flow.graph import Task
 from repro.parallel.cache import canonical, code_version, default_cache_dir
@@ -48,8 +54,12 @@ __all__ = [
     "task_key",
 ]
 
-#: Bump on any backwards-incompatible change to flow-state.json.
-STATE_SCHEMA_VERSION = 1
+#: Bump on any backwards-incompatible change to flow-state.json.  Loading
+#: an older schema returns ``None`` — the documented fresh-start path — so
+#: no record can ever carry fields a previous schema never wrote.
+#: v2: per-task resource accounting (cpu/rss/queue-wait/worker/stamps),
+#: dependency names, budget verdicts, and cache-hit provenance.
+STATE_SCHEMA_VERSION = 2
 
 #: Task lifecycle states recorded in flow-state.json.
 STATUSES = ("pending", "running", "done", "failed", "skipped")
@@ -107,16 +117,54 @@ def output_digest(value: Any) -> str:
 
 @dataclass
 class TaskRecord:
-    """Per-task state as persisted in flow-state.json."""
+    """Per-task state as persisted in flow-state.json (schema v2).
+
+    The resource fields describe the *execution* that produced the
+    recorded result; a cache hit preserves them (they are the provenance
+    of the cached value), while re-execution overwrites them.  The
+    ``running`` transition resets every resource field first, so a crash
+    mid-task can never leave a partial record that mixes a live status
+    with a dead execution's numbers.
+    """
 
     name: str
     status: str = "pending"
     kind: str = "task"
     key: str = ""  #: task_key() the recorded status/digest belongs to
     digest: str = ""  #: output_digest() of the persisted result
-    wall_s: float = 0.0  #: seconds spent computing (0.0 when cached)
+    wall_s: float = 0.0  #: seconds the recorded execution took
     error: str = ""  #: one-line failure reason when status == "failed"/"skipped"
     cached: bool = False  #: True when the last invocation resolved it from cache
+    deps: List[str] = field(default_factory=list)  #: dependency names (DAG edges)
+    cpu_user_s: float = 0.0  #: worker getrusage user-CPU delta
+    cpu_sys_s: float = 0.0  #: worker getrusage system-CPU delta
+    peak_rss_kb: int = 0  #: how much the task raised the worker's peak RSS
+    queue_wait_s: float = 0.0  #: ready (all deps done) → execution start
+    worker: str = ""  #: executing process label (``pid:<n>``)
+    started_unix: float = 0.0  #: wall-clock execution start (0 = never ran)
+    finished_unix: float = 0.0  #: wall-clock execution end (0 = in flight)
+    budget_s: float = 0.0  #: declared wall budget (0 = none declared)
+    over_budget: bool = False  #: wall_s exceeded budget_s on last execution
+    source: str = ""  #: provenance: "executed" | "cache" (last invocation)
+    hit_count: int = 0  #: cache resolutions since the recorded execution
+
+    def reset_resources(self) -> None:
+        """Clear every execution-scoped field (the ``running`` transition).
+
+        Invoked before a task launches so an interrupted invocation leaves
+        no stale resource numbers attached to a non-``done`` record.
+        """
+        self.wall_s = 0.0
+        self.cpu_user_s = 0.0
+        self.cpu_sys_s = 0.0
+        self.peak_rss_kb = 0
+        self.queue_wait_s = 0.0
+        self.worker = ""
+        self.started_unix = 0.0
+        self.finished_unix = 0.0
+        self.over_budget = False
+        self.source = ""
+        self.hit_count = 0
 
 
 @dataclass

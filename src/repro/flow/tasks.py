@@ -23,7 +23,6 @@ ride in the task's *volatile* kwargs and never reach cache keys.
 
 from __future__ import annotations
 
-from pathlib import Path
 from typing import Optional
 
 from repro.experiments import ablations, coalescing, fig4, fig5, fig6, fig7, fig8, fig9
@@ -144,37 +143,24 @@ def bench_task(deps, profile=False, revision="flow"):
     return run_bench(profile=profile, revision=revision)
 
 
-def _repo_root() -> Optional[Path]:
-    """The checkout root (where BENCH_baseline.json and scripts/ live), if
-    this is a src-layout checkout rather than an installed package."""
-    import repro
-
-    root = Path(repro.__file__).resolve().parents[2]
-    if (root / "scripts" / "bench_compare.py").exists():
-        return root
-    return None
-
-
 def bench_compare_task(deps, source="bench", baseline="BENCH_baseline.json"):
     """Gate the fresh bench report against the checked-in baseline.
 
-    Reuses scripts/bench_compare.py (the CI gate) so thresholds and metric
+    Reuses scripts/bench_compare.py (the CI gate, loaded via
+    :func:`repro.flow.diff.load_bench_compare`) so thresholds and metric
     selection live in one place; raises on regression so the flow exits
     nonzero.  Outside a checkout (no scripts/), the gate degrades to a
     recorded skip rather than a failure.
     """
-    import importlib.util
     import json
 
-    root = _repo_root()
+    from repro.flow.diff import load_bench_compare, repo_root
+
+    root = repo_root()
     if root is None or not (root / baseline).exists():
         return {"ok": True, "skipped": "no checkout baseline to compare against",
                 "lines": []}
-    spec = importlib.util.spec_from_file_location(
-        "repro_flow_bench_compare", root / "scripts" / "bench_compare.py"
-    )
-    mod = importlib.util.module_from_spec(spec)
-    spec.loader.exec_module(mod)
+    mod = load_bench_compare()
     with open(root / baseline, "r", encoding="utf-8") as fh:
         base = json.load(fh)
     lines, regressions = mod.compare(base, deps[source])
@@ -206,6 +192,23 @@ def report_task(deps, sections):
 
 # -- graph construction ---------------------------------------------------
 
+#: Per-kind wall budgets in seconds, by mode.  Warn-only: the runner
+#: reports overruns in the summary / flow report / dashboard but never
+#: fails the run, and budgets are volatile-like (excluded from cache
+#: keys), so tuning them cannot invalidate cached work.  Values are
+#: deliberately generous — they exist to flag a task whose cost
+#: *regressed*, not to race healthy runs.
+_BUDGETS = {
+    "full": {"calibrate": 120.0, "sweep": 3600.0, "render": 60.0,
+             "bench": 900.0, "report": 60.0},
+    "reduced": {"calibrate": 60.0, "sweep": 600.0, "render": 30.0,
+                "bench": 300.0, "report": 30.0},
+}
+
+
+def _budget(mode: str, kind: str) -> Optional[float]:
+    return _BUDGETS.get(mode, {}).get(kind)
+
 
 def build_graph(mode: str = "full", jobs: Optional[int] = None,
                 cache: bool = True) -> TaskGraph:
@@ -222,6 +225,7 @@ def build_graph(mode: str = "full", jobs: Optional[int] = None,
     volatile = dict(jobs=jobs, cache=cache)
     graph.add(Task(
         name="calibrate", fn=calibrate_task, kind="calibrate",
+        budget_s=_budget(mode, "calibrate"),
         kwargs=dict(seed=1) if mode == "full" else dict(seed=1, warmup_ns=10 * MS,
                                                         measure_ns=30 * MS),
         description="sanity-check simulator readouts before sweeping",
@@ -233,6 +237,7 @@ def build_graph(mode: str = "full", jobs: Optional[int] = None,
             params.update(module.FLOW_REDUCED)
         graph.add(Task(
             name=name, fn=experiment_task, deps=("calibrate",), kind="sweep",
+            budget_s=_budget(mode, "sweep"),
             kwargs=dict(runner=runner, params=params), volatile=volatile,
             description=f"{label} sweep",
         ))
@@ -240,30 +245,36 @@ def build_graph(mode: str = "full", jobs: Optional[int] = None,
         if name == "fig9":
             graph.add(Task(
                 name=render_name, fn=render_fig9_task, deps=(name,), kind="render",
+                budget_s=_budget(mode, "render"),
                 kwargs=dict(source=name), description=f"{label} table + knees",
             ))
         else:
             graph.add(Task(
                 name=render_name, fn=render_task, deps=(name,), kind="render",
+                budget_s=_budget(mode, "render"),
                 kwargs=dict(source=name, formatter=formatter, format_args=format_args),
                 description=f"{label} table",
             ))
         sections.append((label, render_name))
     graph.add(Task(
         name="bench", fn=bench_task, deps=("calibrate",), kind="bench",
+        budget_s=_budget(mode, "bench"),
         description="machine-readable bench report (BENCH_<rev>.json payload)",
     ))
     graph.add(Task(
         name="bench-compare", fn=bench_compare_task, deps=("bench",), kind="bench",
+        budget_s=_budget(mode, "bench"),
         description="regression gate vs checked-in BENCH_baseline.json",
     ))
     graph.add(Task(
         name="dashboard", fn=dashboard_task, deps=("bench",), kind="render",
+        budget_s=_budget(mode, "render"),
         description="self-contained HTML dashboard from the bench report",
     ))
     graph.add(Task(
         name="report", fn=report_task,
         deps=tuple(render for _, render in sections), kind="report",
+        budget_s=_budget(mode, "report"),
         kwargs=dict(sections=tuple(sections)),
         description="EXPERIMENTS.md source text (all renders, flat-script order)",
     ))

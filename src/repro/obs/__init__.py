@@ -25,6 +25,11 @@ through per-module ad-hoc counters:
 * :mod:`repro.obs.bench` — the machine-readable benchmark pipeline that
   turns all of the above into a schema-versioned ``BENCH_<rev>.json``
   (imported lazily: it pulls in the experiment layer).
+* :mod:`repro.obs.flowreport` / :mod:`repro.obs.flowdash` — flow-run
+  observability: critical-path and resource analysis of a
+  ``flow-state.json`` document, and the self-contained Gantt dashboard
+  (not imported here: they are consumers of flow state, not simulator
+  instrumentation).
 
 Every :class:`~repro.sim.simulator.Simulator` owns an
 :class:`Observability` instance as ``sim.obs``.  Modules in this package

@@ -31,7 +31,7 @@ import html
 import json
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["render_dashboard", "write_dashboard"]
+__all__ = ["MAX_SERIES", "base_css", "esc", "fmt", "render_dashboard", "write_dashboard"]
 
 # Categorical palettes (8 slots, fixed order, never cycled) validated with
 # the six-check palette validator against each mode's surface; dark mode is
@@ -51,7 +51,12 @@ _PAD_B = 26
 MAX_SERIES = 8
 
 
-def _css() -> str:
+def base_css() -> str:
+    """The shared stylesheet: surface/ink variables, the CVD-validated
+    light/dark categorical palettes (``--s0``…``--s7``), tiles, cards,
+    chart text classes.  Reused by every self-contained HTML artifact the
+    repo emits (bench dashboard here, flow Gantt in
+    :mod:`repro.obs.flowdash`) so they read as one system."""
     light_vars = "".join(f"--s{i}: {c};" for i, c in enumerate(_LIGHT_SERIES))
     dark_vars = "".join(f"--s{i}: {c};" for i, c in enumerate(_DARK_SERIES))
     return f"""
@@ -169,11 +174,12 @@ def _tooltip_js() -> str:
 
 
 # ------------------------------------------------------------------ utilities
-def _esc(s: Any) -> str:
+def esc(s: Any) -> str:
+    """HTML-escape anything for embedding in the dashboard markup."""
     return html.escape(str(s), quote=True)
 
 
-def _fmt(v: Optional[float]) -> str:
+def fmt(v: Optional[float]) -> str:
     """Human-scale number for tables and tiles."""
     if v is None:
         return "–"
@@ -192,6 +198,11 @@ def _fmt(v: Optional[float]) -> str:
         return "0"
     return f"{v:.3g}"
 
+
+# Internal aliases: the sections below predate the helpers going public.
+_css = base_css
+_esc = esc
+_fmt = fmt
 
 Series = Tuple[str, List[Tuple[float, Optional[float]]]]
 

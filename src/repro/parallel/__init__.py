@@ -10,6 +10,7 @@ for every jobs value — see the determinism test in
 """
 
 from repro.parallel.cache import ResultCache, canonical, code_version, default_cache_dir
+from repro.parallel.rusage import snapshot, usage_delta, worker_id
 from repro.parallel.seeds import derive_seed
 from repro.parallel.sweep import SweepPoint, effective_jobs, pool_context, run_sweep
 
@@ -23,4 +24,7 @@ __all__ = [
     "effective_jobs",
     "pool_context",
     "run_sweep",
+    "snapshot",
+    "usage_delta",
+    "worker_id",
 ]

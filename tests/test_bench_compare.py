@@ -110,6 +110,19 @@ class TestCli:
         err = capsys.readouterr().err
         assert "1 regression(s) beyond threshold" in err
 
+    def test_flow_provenance_printed_when_present(self, tmp_path, capsys):
+        stamped = _report()
+        stamped["flow"] = {"run_key": "cafe0123feed4567", "mode": "reduced",
+                           "jobs": 4, "code_version": "abc123"}
+        base = _write(tmp_path, "base.json", _report())
+        cur = _write(tmp_path, "cur.json", stamped)
+        assert bench_compare.main([base, cur]) == 0
+        out = capsys.readouterr().out
+        assert "flow run cafe0123feed4567" in out
+        assert "mode=reduced" in out and "jobs=4" in out
+        # Only the stamped side carries the provenance line.
+        assert out.count("flow run") == 1
+
     def test_rejects_foreign_schema(self, tmp_path):
         path = _write(tmp_path, "bad.json", {"schema": {"name": "something-else"}})
         with pytest.raises(SystemExit, match="not a repro-bench report"):

@@ -122,6 +122,27 @@ class TestState:
         assert task_key(task, {"b": "CHANGED", "c": "y1"}) != base
 
 
+def t_spy(deps, state_path, out_path):
+    """Snapshot the state file mid-execution — the crash-mid-task probe:
+    whatever this copy shows for the running task is exactly what a crash
+    at this moment would leave behind."""
+    import shutil
+
+    shutil.copy(state_path, out_path)
+    return 1
+
+
+def t_burn(deps, ms=30):
+    """Measurable wall + CPU: spin the interpreter for ~ms milliseconds."""
+    import time
+
+    end = time.perf_counter() + ms / 1000.0
+    x = 0
+    while time.perf_counter() < end:
+        x += 1
+    return x > 0
+
+
 def run_quiet(runner, **kwargs):
     return runner.run(**kwargs)
 
@@ -230,3 +251,123 @@ class TestRunner:
                              jobs=1, echo=None)
         actions = {e["task"]: e["action"] for e in changed.plan()}
         assert actions == {"a": "cached", "b": "run", "c": "cached", "d": "run"}
+
+
+class TestResourceAccounting:
+    """Schema-v2 per-task accounting: migration, provenance, crash safety."""
+
+    RESOURCE_FIELDS = ("cpu_user_s", "cpu_sys_s", "peak_rss_kb", "queue_wait_s",
+                       "worker", "started_unix", "finished_unix", "budget_s",
+                       "over_budget", "source", "hit_count", "deps")
+
+    def _state_doc(self, tmp_path):
+        return json.loads((tmp_path / "flow-state.json").read_text())
+
+    def test_pre_v2_state_is_fresh_start_with_no_stale_fields(self, tmp_path):
+        """A schema-1 state file (no resource fields) must not resume: the
+        documented fresh-start path recomputes everything, and every record
+        it leaves behind carries the full v2 field set."""
+        v1 = {
+            "schema": 1,
+            "run_key": "stale", "mode": "full", "code_version": "old",
+            "last_run": {"executed": 4},
+            "tasks": {"a": {"name": "a", "status": "done", "kind": "task",
+                            "key": "k", "digest": "d", "wall_s": 9.9,
+                            "error": "", "cached": False}},
+        }
+        runner = FlowRunner(diamond(), mode="full", state_root=tmp_path,
+                            jobs=1, echo=None)
+        runner.run_dir.state_path.parent.mkdir(parents=True, exist_ok=True)
+        runner.run_dir.state_path.write_text(json.dumps(v1))
+        assert FlowState.load(runner.run_dir.state_path) is None
+        result = run_quiet(runner)
+        assert set(result.executed) == {"a", "b", "c", "d"}  # nothing resumed
+        doc = self._state_doc(tmp_path)
+        for rec in doc["tasks"].values():
+            for field in self.RESOURCE_FIELDS:
+                assert field in rec, field
+        assert doc["tasks"]["a"]["wall_s"] != 9.9  # stale numbers gone
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_executed_records_carry_resources(self, tmp_path, jobs):
+        graph = TaskGraph([
+            Task(name="burn", fn=t_burn, kwargs=dict(ms=30), kind="bench"),
+            Task(name="after", fn=t_sum, deps=("burn",)),
+        ])
+        run_quiet(FlowRunner(graph, mode="full", state_root=tmp_path,
+                             jobs=jobs, echo=None))
+        doc = self._state_doc(tmp_path)
+        burn = doc["tasks"]["burn"]
+        assert burn["source"] == "executed" and burn["hit_count"] == 0
+        assert burn["wall_s"] > 0.0
+        assert burn["cpu_user_s"] + burn["cpu_sys_s"] > 0.0  # it spun
+        assert burn["worker"].startswith("pid:")
+        assert burn["finished_unix"] > burn["started_unix"] > 0.0
+        assert burn["queue_wait_s"] >= 0.0 and burn["peak_rss_kb"] >= 0
+        assert doc["tasks"]["after"]["deps"] == ["burn"]
+        # Downstream task became ready only when burn finished.
+        assert doc["tasks"]["after"]["started_unix"] >= burn["started_unix"]
+
+    def test_cache_hit_preserves_execution_provenance(self, tmp_path):
+        run_quiet(FlowRunner(diamond(), mode="full", state_root=tmp_path,
+                             jobs=1, echo=None))
+        first = self._state_doc(tmp_path)["tasks"]["a"]
+        run_quiet(FlowRunner(diamond(), mode="full", state_root=tmp_path,
+                             jobs=1, echo=None))
+        hit = self._state_doc(tmp_path)["tasks"]["a"]
+        assert hit["cached"] and hit["source"] == "cache" and hit["hit_count"] == 1
+        # The resource numbers still describe the execution that produced
+        # the cached value — a hit must not zero or overwrite them.
+        for field in ("wall_s", "cpu_user_s", "started_unix", "finished_unix",
+                      "worker"):
+            assert hit[field] == first[field], field
+
+    def test_crash_mid_task_leaves_no_partial_resource_record(self, tmp_path):
+        """The state snapshot taken *during* execution (== what a crash at
+        that moment persists) shows the running task with every resource
+        field reset — never a live status with a dead execution's numbers."""
+        snapshot = tmp_path / "mid-run-state.json"
+        graph = TaskGraph([
+            Task(name="before", fn=t_burn, kwargs=dict(ms=5)),
+            Task(name="spy", fn=t_spy, deps=("before",),
+                 kwargs=dict(state_path=str(tmp_path / "flow-state.json"),
+                             out_path=str(snapshot))),
+        ])
+        # Run twice so the spy's record has non-zero numbers to clear.
+        run_quiet(FlowRunner(graph, mode="full", state_root=tmp_path,
+                             jobs=1, echo=None))
+        result = run_quiet(FlowRunner(graph, mode="full", state_root=tmp_path,
+                                      jobs=1, echo=None), force=True)
+        assert result.ok
+        spy = json.loads(snapshot.read_text())["tasks"]["spy"]
+        assert spy["status"] == "running"
+        assert spy["wall_s"] == 0.0 and spy["cpu_user_s"] == 0.0
+        assert spy["finished_unix"] == 0.0 and spy["worker"] == ""
+        assert spy["source"] == "" and spy["hit_count"] == 0
+        assert spy["started_unix"] > 0.0  # the submit stamp is the exception
+
+    def test_budget_is_key_neutral_and_overruns_are_recorded(self, tmp_path):
+        with_budget = Task(name="burn", fn=t_burn, kwargs=dict(ms=30),
+                           budget_s=0.001)
+        without = Task(name="burn", fn=t_burn, kwargs=dict(ms=30))
+        assert task_key(with_budget, {}) == task_key(without, {})
+
+        graph = TaskGraph([with_budget])
+        result = run_quiet(FlowRunner(graph, mode="full", state_root=tmp_path,
+                                      jobs=1, echo=None))
+        assert result.ok  # budgets warn, never fail
+        assert "burn" in result.over_budget and result.over_budget["burn"] > 0
+        assert any("BUDGET" in line for line in result.summary_lines())
+        rec = self._state_doc(tmp_path)["tasks"]["burn"]
+        assert rec["over_budget"] and rec["budget_s"] == 0.001
+        doc = self._state_doc(tmp_path)
+        assert doc["last_run"]["over_budget"] == 1
+
+    def test_generous_budget_is_met(self, tmp_path):
+        graph = TaskGraph([Task(name="burn", fn=t_burn, kwargs=dict(ms=5),
+                                budget_s=60.0)])
+        result = run_quiet(FlowRunner(graph, mode="full", state_root=tmp_path,
+                                      jobs=1, echo=None))
+        assert result.ok and not result.over_budget
+        rec = self._state_doc(tmp_path)["tasks"]["burn"]
+        assert not rec["over_budget"] and rec["budget_s"] == 60.0

@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import json
+
 from repro.flow.runner import FlowRunner
-from repro.flow.state import run_key_for
+from repro.flow.state import run_key_for, task_key
 from repro.flow.tasks import MODES, build_graph, task_names
 from repro.units import MS, SEC
 
@@ -72,6 +74,32 @@ class TestRegistry:
         assert run_key_for(build_graph("full").tasks, "full") != \
             run_key_for(build_graph("reduced").tasks, "reduced")
 
+    def test_every_task_declares_a_budget_in_both_modes(self):
+        for mode in MODES:
+            for task in build_graph(mode).tasks:
+                assert task.budget_s and task.budget_s > 0, \
+                    f"{mode}/{task.name}: no wall budget declared"
+        # Reduced mode runs trimmed windows; its budgets must be tighter.
+        full, reduced = build_graph("full"), build_graph("reduced")
+        for task in full.tasks:
+            assert reduced[task.name].budget_s <= task.budget_s, task.name
+
+    def test_budgets_never_reach_cache_or_run_keys(self):
+        """Tuning a budget must not invalidate any cached work."""
+        budgeted = build_graph("full")
+        for task in budgeted.tasks:
+            stripped = task.__class__(
+                name=task.name, fn=task.fn, deps=task.deps, kwargs=task.kwargs,
+                volatile=task.volatile, kind=task.kind,
+                description=task.description, budget_s=None)
+            assert task_key(task, {d: "x" for d in task.deps}) == \
+                task_key(stripped, {d: "x" for d in task.deps}), task.name
+        assert run_key_for(budgeted.tasks, "full") == run_key_for(
+            [t.__class__(name=t.name, fn=t.fn, deps=t.deps, kwargs=t.kwargs,
+                         volatile=t.volatile, kind=t.kind,
+                         description=t.description, budget_s=None)
+             for t in budgeted.tasks], "full")
+
 
 class TestCli:
     def test_list_prints_the_dag(self, capsys):
@@ -100,6 +128,28 @@ class TestCli:
                    "--state-dir", str(tmp_path)])
         assert rc == 2
         assert "unknown task" in capsys.readouterr().err
+
+    def test_status_json_is_the_full_machine_readable_state(self, capsys, tmp_path):
+        from repro.flow.cli import main
+        from tests.test_flow import diamond
+
+        FlowRunner(diamond(), mode="full", state_root=tmp_path,
+                   jobs=1, echo=None).run()
+        assert main(["status", "--state-dir", str(tmp_path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == 2 and set(doc["tasks"]) == {"a", "b", "c", "d"}
+        rec = doc["tasks"]["a"]
+        # Per-task status, key, wall, and the full resource accounting.
+        for field in ("status", "key", "digest", "wall_s", "cpu_user_s",
+                      "cpu_sys_s", "peak_rss_kb", "queue_wait_s", "worker",
+                      "started_unix", "finished_unix", "source", "deps"):
+            assert field in rec, field
+        assert rec["status"] == "done" and rec["source"] == "executed"
+
+    def test_status_json_without_state_exits_1(self, capsys, tmp_path):
+        from repro.flow.cli import main
+
+        assert main(["status", "--state-dir", str(tmp_path), "--json"]) == 1
 
 
 class TestFlatRunnerContract:
