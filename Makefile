@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test lint bench-smoke sched-sweep bench bench-compare profile trace-smoke dashboard determinism ci experiments flow flow-smoke flow-report flow-dashboard
+.PHONY: test lint bench-smoke sched-sweep rack-smoke bench bench-compare profile trace-smoke dashboard determinism ci experiments flow flow-smoke flow-report flow-dashboard
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -25,6 +25,11 @@ bench-smoke:
 # Set REPRO_SCHED_SWEEP_ARTIFACT=<path> to export the JSON summary.
 sched-sweep:
 	PYTHONPATH=src $(PYTHON) -m pytest -q -m sched_sweep
+
+# Reduced sharded-rack scenario at 1 and 4 shards (marker-selected):
+# byte-identity + window-barrier protocol smoke, the CI `rack` job.
+rack-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest -q -m rack_smoke
 
 # Machine-readable benchmark artifact: BENCH_<rev>.json.
 bench:
@@ -61,9 +66,9 @@ determinism:
 # local and hosted CI agree:
 #   lint -> lint, test -> test (the sched-conformance matrix re-runs a
 #   subset of it), bench-smoke -> bench-smoke, sched-sweep -> sched-sweep,
-#   determinism -> determinism, trace-smoke + bench-compare -> path-trace,
-#   flow-smoke -> experiments-dag.
-ci: lint test bench-smoke sched-sweep determinism trace-smoke bench-compare flow-smoke
+#   rack-smoke -> rack, determinism -> determinism, trace-smoke +
+#   bench-compare -> path-trace, flow-smoke -> experiments-dag.
+ci: lint test bench-smoke sched-sweep rack-smoke determinism trace-smoke bench-compare flow-smoke
 
 # The full paper reproduction (long; resumable DAG, parallel + cached).
 experiments:

@@ -71,6 +71,30 @@ def _metrics(report: Dict[str, Any]) -> Iterator[Tuple[str, str, float]]:
         yield "sched[adaptive].p99_ms", "lower", float(adaptive["p99_ms"])
 
 
+def _rack_info(report: Dict[str, Any]) -> Dict[str, float]:
+    """Schema v5 rack metrics: listed for trajectory, never gated.
+
+    Everything here is wall-clock scaling on whatever machine ran the
+    bench (shard processes racing for cores), so thresholding it would
+    gate on CI hardware, not on the code.  Byte-identity — the rack's
+    *correctness* claim — is enforced by the determinism guard, not here.
+    """
+    rack = report.get("rack")
+    if not rack:
+        return {}
+    info: Dict[str, float] = {}
+    for count in rack.get("shard_counts", []):
+        point = rack["points"][str(count)]
+        info[f"rack[{count}].aggregate_events_per_sec"] = \
+            float(point["aggregate_events_per_sec"])
+        info[f"rack[{count}].ops_per_sec"] = float(point["ops_per_sec"])
+        waits = [s["barrier_wait_fraction"] for s in point["shards"]]
+        info[f"rack[{count}].barrier_wait_max"] = float(max(waits)) if waits else 0.0
+    info["rack.aggregate_speedup"] = float(rack.get("aggregate_speedup", 0.0))
+    info["rack.simulated_identical"] = 1.0 if rack.get("simulated_identical") else 0.0
+    return info
+
+
 def compare(
     baseline: Dict[str, Any],
     current: Dict[str, Any],
@@ -107,6 +131,15 @@ def compare(
             regressions.append(
                 f"{mid}: {bval:.4f} -> {cval:.4f} ({delta_pct:+.1f}%, limit {limit:.0f}%)"
             )
+    rack_base = _rack_info(baseline)
+    rack_cur = _rack_info(current)
+    if rack_base or rack_cur:
+        lines.append("rack (informational, never gated):")
+        rwidth = max(len(m) for m in set(rack_base) | set(rack_cur))
+        for mid in sorted(set(rack_base) | set(rack_cur)):
+            bstr = f"{rack_base[mid]:>12.4f}" if mid in rack_base else f"{'-':>12}"
+            cstr = f"{rack_cur[mid]:>12.4f}" if mid in rack_cur else f"{'-':>12}"
+            lines.append(f"  {mid:<{rwidth}} {bstr} {cstr}")
     return lines, regressions
 
 

@@ -11,6 +11,11 @@ scheduling must never influence results (``repro.parallel.sweep``), both
 event-queue backends must produce the exact same firing order
 (``repro.sim.wheel``), and the timeline sampler is an observer whose
 boundary events never perturb simulated metrics (``repro.obs.timeline``).
+
+A **sharded leg** extends the guard to the rack (``repro.cluster``): the
+same fixed-seed rack scenario at 1, 2 and 4 shards must produce
+byte-identical ``simulated`` blocks — the conservative window-barrier
+protocol's layout-independence contract.
 """
 
 from __future__ import annotations
@@ -29,6 +34,11 @@ SEED = 1
 QUOTAS = (8, 4)
 WARMUP_NS = 20 * MS
 MEASURE_NS = 60 * MS
+
+#: sharded-leg parameters: shard layouts compared and the rack windows
+RACK_SHARDS = (1, 2, 4)
+RACK_WARMUP_NS = 1 * MS
+RACK_MEASURE_NS = 6 * MS
 
 
 def _canonical_json(points) -> str:
@@ -79,6 +89,24 @@ def main() -> int:
     print(f"determinism guard OK: fig4 udp seed={SEED} quotas={QUOTAS} "
           "identical under jobs=1, jobs=2, the wheel queue backend, "
           "and with the timeline sampler enabled")
+
+    # Sharded leg: the rack's simulated block is layout-invariant.
+    from repro.cluster import reduced_rack_spec, run_rack_once, simulated_digest
+
+    spec = reduced_rack_spec(seed=SEED)
+    digests = {}
+    for n_shards in RACK_SHARDS:
+        report = run_rack_once(spec, n_shards, RACK_MEASURE_NS,
+                               warmup_ns=RACK_WARMUP_NS)
+        digests[n_shards] = simulated_digest(report)
+    reference = RACK_SHARDS[0]
+    for n_shards in RACK_SHARDS[1:]:
+        if digests[n_shards] != digests[reference]:
+            _diff(f"{reference}-shard", digests[reference],
+                  f"{n_shards}-shard", digests[n_shards])
+            return 1
+    print(f"determinism guard OK: rack seed={SEED} simulated block "
+          f"byte-identical at {RACK_SHARDS} shards")
     return 0
 
 

@@ -24,6 +24,12 @@ from repro.experiments.fig6 import DEFAULT_PACKET_SIZES, format_fig6, run_fig6
 from repro.experiments.fig7 import format_fig7, run_fig7
 from repro.experiments.fig8 import format_fig8, run_fig8
 from repro.experiments.fig9 import DEFAULT_RATES, find_knee, format_fig9, run_fig9
+from repro.experiments.rack import (
+    DEFAULT_RACK_CONFIGS,
+    DEFAULT_SHARD_COUNTS,
+    format_rack,
+    run_rack,
+)
 from repro.experiments.schedzoo import format_sched_sweep, run_sched_sweep
 from repro.experiments.sriov import format_sriov, run_sriov
 from repro.experiments.table1 import format_table1, run_table1
@@ -87,6 +93,21 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     p.add_argument("--rates", type=int, nargs="+", default=list(DEFAULT_RATES))
     p.add_argument("--duration-ms", type=int, default=2000)
+
+    p = sub.add_parser(
+        "rack",
+        help="sharded rack: multi-host fan-out, ES2 on/off, shard-count scaling",
+    )
+    _add_common(p)
+    # Rack windows are rack-sized: many hosts per point, so the defaults
+    # are short — the grid still covers every (config, shards) cell.
+    p.set_defaults(warmup_ms=2, measure_ms=20)
+    p.add_argument("--shards", type=int, nargs="+",
+                   default=list(DEFAULT_SHARD_COUNTS),
+                   help="shard counts to compare (default: 1 4)")
+    p.add_argument("--configs", nargs="+", default=list(DEFAULT_RACK_CONFIGS))
+    p.add_argument("--application", choices=("memcached", "apache"),
+                   default="memcached")
 
     p = sub.add_parser(
         "schedsweep",
@@ -217,6 +238,16 @@ def main(argv=None) -> int:
     if cmd in ("coalescing", "all"):
         print(format_coalescing(run_coalescing(seed=seed(5), warmup_ns=warmup,
                                                measure_ns=measure, jobs=jobs, cache=cache)))
+    if cmd == "rack" or cmd == "all":
+        # Rack defaults when reached via `all` (its points are whole racks;
+        # the common 200/500 ms windows would run for minutes).
+        rack_warmup = warmup if cmd == "rack" else 2 * MS
+        rack_measure = measure if cmd == "rack" else 20 * MS
+        print(format_rack(run_rack(
+            configs=tuple(args.__dict__.get("configs", DEFAULT_RACK_CONFIGS)),
+            shard_counts=tuple(args.__dict__.get("shards", DEFAULT_SHARD_COUNTS)),
+            application=args.__dict__.get("application", "memcached"),
+            seed=seed(3), warmup_ns=rack_warmup, measure_ns=rack_measure)))
     if cmd == "schedsweep" or cmd == "all":
         from repro.experiments.schedzoo import REDIRECTION_MODES, SCHED_POLICIES
 

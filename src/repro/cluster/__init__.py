@@ -1,0 +1,25 @@
+"""Sharded multi-host simulation: a rack of ES2 hosts across processes.
+
+The package splits a declarative rack topology (:class:`RackSpec`) into
+per-host simulators grouped into shards, runs the shards in parallel
+processes, and keeps them causally consistent with conservative
+time-window synchronization — the window being the cross-host link
+propagation (the lookahead).  The simulated results are byte-identical
+for every shard count; only wall-clock scaling changes.
+"""
+
+from repro.cluster.coordinator import ShardedSimulator, run_rack_once, simulated_digest
+from repro.cluster.link import CrossShardLink
+from repro.cluster.shard import Shard, ShardFabric
+from repro.cluster.topology import RackSpec, reduced_rack_spec
+
+__all__ = [
+    "RackSpec",
+    "reduced_rack_spec",
+    "CrossShardLink",
+    "Shard",
+    "ShardFabric",
+    "ShardedSimulator",
+    "run_rack_once",
+    "simulated_digest",
+]

@@ -1,0 +1,141 @@
+"""One shard: a group of rack hosts advancing in conservative time windows.
+
+A shard owns a deterministic subset of the rack's hosts, each on its own
+simulator.  Between barriers it advances every host to the common window
+end; at barriers it drains the messages its hosts emitted (via their
+:class:`~repro.cluster.link.CrossShardLink` uplinks) and injects the
+messages routed to it — sorted by the global
+:func:`~repro.cluster.link.message_sort_key`, so event sequence-number
+allocation on every receiving host is identical under any shard layout.
+
+The safety argument (why injection never lands in a host's past): during
+the window ending at ``T`` every emission happens at a simulator clock
+``t <= T``, and its stamped arrival is ``serialize(t) + propagation >=
+t + lookahead``.  Messages are injected at the *following* barrier, when
+every clock reads exactly ``T``; since the window length never exceeds
+the lookahead, ``arrival >= t_prev_window_start + lookahead >= T`` holds
+for every message, and the receiving simulator's ingress queue
+re-checks the inequality at injection rather than trusting it.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from time import perf_counter
+from typing import Dict, List
+
+from repro.cluster.host import RackClientHost, build_host
+from repro.cluster.link import Message, decode_packet, encode_packet, message_sort_key
+from repro.cluster.topology import RackSpec
+from repro.errors import ClusterError
+
+__all__ = ["ShardFabric", "Shard"]
+
+
+class ShardFabric:
+    """The rack fabric as seen from inside one shard process.
+
+    Collects stamped emissions from local uplinks into an outbox (drained
+    at each barrier) and delivers inbound messages into the owning host's
+    simulator ingress queue.
+    """
+
+    def __init__(self, addr_to_host: Dict[str, str]):
+        self._addr_to_host = addr_to_host
+        self._outbox: List[Message] = []
+        self._send_seq: Dict[str, int] = {}
+        #: host name -> (simulator, wire-receive callable)
+        self._local_rx = {}
+        self.emitted = 0
+        self.delivered = 0
+
+    # ------------------------------------------------------------ topology
+    def register_host(self, name: str, sim, rx) -> None:
+        """Bind one local host's simulator and wire-RX entry point."""
+        if name in self._local_rx:
+            raise ClusterError(f"host {name} already registered with the fabric")
+        self._local_rx[name] = (sim, rx)
+        self._send_seq.setdefault(name, 0)
+
+    # ------------------------------------------------------------- egress
+    def emit(self, src_host: str, arrival_ns: int, packet) -> None:
+        """Queue one stamped cross-host delivery (called by uplinks)."""
+        dst_host = self._addr_to_host.get(packet.dst)
+        if dst_host is None:
+            raise ClusterError(
+                f"{src_host}: packet to unknown address {packet.dst!r}"
+            )
+        seq = self._send_seq[src_host]
+        self._send_seq[src_host] = seq + 1
+        self._outbox.append(
+            (arrival_ns, dst_host, src_host, seq, encode_packet(packet))
+        )
+        self.emitted += 1
+
+    def drain_outbox(self) -> List[Message]:
+        """All messages emitted since the previous drain."""
+        out, self._outbox = self._outbox, []
+        return out
+
+    # ------------------------------------------------------------ ingress
+    def deliver(self, msg: Message) -> None:
+        """Inject one inbound message into its host's ingress queue."""
+        arrival_ns, dst_host, _src_host, _seq, fields = msg
+        entry = self._local_rx.get(dst_host)
+        if entry is None:
+            raise ClusterError(f"message routed to non-local host {dst_host}")
+        sim, rx = entry
+        sim.ingress.inject(arrival_ns, rx, decode_packet(fields))
+        self.delivered += 1
+
+
+class Shard:
+    """The hosts of one shard plus their window-advance machinery."""
+
+    def __init__(self, spec: RackSpec, host_names):
+        self.spec = spec
+        self.fabric = ShardFabric(spec.address_map())
+        # Canonical rack order, not assignment order: host build order is
+        # layout-invariant, so any shared module-level state (packet ids)
+        # is touched identically however hosts are grouped.
+        ordered = [h for h in spec.hosts if h in set(host_names)]
+        self.hosts = OrderedDict((name, build_host(name, self.fabric, spec))
+                                 for name in ordered)
+        self.run_wall_s = 0.0
+
+    # -------------------------------------------------------------- control
+    def start(self) -> None:
+        """Start every client host's closed-loop load."""
+        for host in self.hosts.values():
+            if isinstance(host, RackClientHost):
+                host.start()
+
+    def mark(self) -> None:
+        """Open the measurement window on every local client host."""
+        for host in self.hosts.values():
+            if isinstance(host, RackClientHost):
+                host.mark()
+
+    def run_window(self, t_end: int, inbound: List[Message]) -> List[Message]:
+        """Inject ``inbound``, advance every host to ``t_end``, drain egress.
+
+        ``inbound`` may arrive in any order; the global sort here is what
+        pins the injection order across layouts.
+        """
+        t0 = perf_counter()
+        for msg in sorted(inbound, key=message_sort_key):
+            self.fabric.deliver(msg)
+        for host in self.hosts.values():
+            host.sim.run_until(t_end)
+        out = self.fabric.drain_outbox()
+        self.run_wall_s += perf_counter() - t0
+        return out
+
+    # -------------------------------------------------------------- readout
+    def results(self) -> Dict[str, dict]:
+        """Per-host simulated readouts (layout-invariant by construction)."""
+        return {name: host.result() for name, host in self.hosts.items()}
+
+    def events_fired(self) -> int:
+        """Total events executed across this shard's hosts."""
+        return sum(host.sim.events_fired for host in self.hosts.values())

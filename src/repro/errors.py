@@ -47,3 +47,7 @@ class ConfigError(ReproError):
 
 class WorkloadError(ReproError):
     """Raised for invalid workload definitions or usage."""
+
+
+class ClusterError(ReproError):
+    """Raised for sharded-simulation protocol violations (repro.cluster)."""

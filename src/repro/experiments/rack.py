@@ -1,0 +1,111 @@
+"""Rack-scale scenario: the paper's server host multiplied across a rack.
+
+A grid of (ES2 configuration x shard count) runs of the same rack
+topology — memcached/apache-style request fan-out from bare-metal client
+hosts to every server VM — driven by the sharded simulator
+(:mod:`repro.cluster`).  Two claims are on display:
+
+* **fidelity**: the simulated metrics of a rack run are byte-identical
+  under every shard count (the conservative window-barrier protocol adds
+  parallelism, not noise), checked here on every run;
+* **scaling**: aggregate events/sec grows with shard count — each shard
+  is its own Python interpreter, so the rack simulates at multi-core
+  speed instead of being bound by one event loop.
+
+Unlike the figure sweeps this experiment does **not** fan out through
+``run_sweep``: each point is already a multi-process run (its shards),
+and nesting process pools would oversubscribe the machine.  Points run
+serially; ``jobs``/``cache`` are accepted for task-signature
+compatibility with the flow DAG.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.cluster import RackSpec, reduced_rack_spec, run_rack_once, simulated_digest
+from repro.metrics.report import format_table
+from repro.units import MS
+
+__all__ = ["run_rack", "format_rack", "rack_identical", "FLOW_REDUCED",
+           "DEFAULT_SHARD_COUNTS", "DEFAULT_RACK_CONFIGS"]
+
+#: shard counts every rack run compares (the scaling axis)
+DEFAULT_SHARD_COUNTS = (1, 4)
+#: the end-to-end ES2 ablation the rack reports (off vs everything on)
+DEFAULT_RACK_CONFIGS = ("Baseline", "PI+H", "PI+H+R")
+
+#: Reduced-mode window overrides for the DAG runner (repro.flow.tasks).
+FLOW_REDUCED = dict(warmup_ns=1 * MS, measure_ns=8 * MS)
+
+
+def rack_spec(config: str = "PI+H+R", application: str = "memcached",
+              seed: int = 3, **overrides) -> RackSpec:
+    """The experiment's rack: the CI-sized topology under one config."""
+    quota = 8 if application == "memcached" else 4
+    return reduced_rack_spec(
+        config=config, application=application, seed=seed, quota=quota,
+        cpu_burn=True, **overrides,
+    )
+
+
+def run_rack(
+    configs: Sequence[str] = DEFAULT_RACK_CONFIGS,
+    shard_counts: Sequence[int] = DEFAULT_SHARD_COUNTS,
+    application: str = "memcached",
+    seed: int = 3,
+    warmup_ns: int = 2 * MS,
+    measure_ns: int = 20 * MS,
+    jobs=None,          # noqa: ARG001 - flow-task signature compatibility
+    cache=False,        # noqa: ARG001 - points are their own process fan-out
+) -> Dict[Tuple[str, int], dict]:
+    """Run the rack grid; keys are ``(config, n_shards)``."""
+    results: Dict[Tuple[str, int], dict] = {}
+    for config in configs:
+        spec = rack_spec(config=config, application=application, seed=seed)
+        for n_shards in shard_counts:
+            results[(config, n_shards)] = run_rack_once(
+                spec, n_shards, measure_ns, warmup_ns=warmup_ns
+            )
+    return results
+
+
+def rack_identical(results: Dict[Tuple[str, int], dict]) -> Dict[str, bool]:
+    """Per config: did every shard count produce the same simulated bytes?"""
+    verdict: Dict[str, bool] = {}
+    for config in sorted({c for (c, _) in results}):
+        digests = {simulated_digest(r) for (c, _), r in results.items() if c == config}
+        verdict[config] = len(digests) == 1
+    return verdict
+
+
+def format_rack(results: Dict[Tuple[str, int], dict]) -> str:
+    """Render the rack grid as a paper-style text table."""
+    identical = rack_identical(results)
+    rows = []
+    base_ops = None
+    for (config, n_shards), report in results.items():
+        totals = report["simulated"]["totals"]
+        perf = report["perf"]
+        if base_ops is None:
+            base_ops = totals["ops_per_sec"] or 1.0
+        waits = [s["barrier_wait_fraction"] for s in perf["shards"]]
+        rows.append([
+            config,
+            str(n_shards),
+            f"{totals['ops_per_sec']:.0f}",
+            f"{totals['ops_per_sec'] / base_ops:.2f}x",
+            f"{totals['latency_mean_us']:.0f}",
+            f"{totals['latency_p99_max_us']:.0f}",
+            f"{perf['aggregate_events_per_sec']:.0f}",
+            f"{max(waits):.2f}" if waits else "-",
+            str(perf["messages_cross_shard"]),
+            "yes" if identical[config] else "NO",
+        ])
+    return format_table(
+        ["Config", "Shards", "ops/s", "vs base", "lat mean (us)",
+         "lat p99 (us)", "agg ev/s", "barrier wait", "cross msgs", "identical"],
+        rows,
+        title="Rack: sharded multi-host simulation "
+              "(fan-out clients -> ES2 server hosts)",
+    )

@@ -26,7 +26,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.experiments import ablations, coalescing, fig4, fig5, fig6, fig7, fig8, fig9
-from repro.experiments import schedzoo, sriov, table1
+from repro.experiments import rack, schedzoo, sriov, table1
 from repro.flow.graph import FlowError, Task, TaskGraph
 from repro.units import MS, SEC
 
@@ -75,6 +75,9 @@ _EXPERIMENTS = (
     ("schedsweep", "Scheduler policy zoo x redirection x adaptive allocation",
      schedzoo.run_sched_sweep, schedzoo.format_sched_sweep, (),
      dict(seed=3, duration_ns=int(0.8 * SEC)), schedzoo),
+    ("rack", "Rack: sharded multi-host fan-out",
+     rack.run_rack, rack.format_rack, (),
+     dict(seed=3, warmup_ns=2 * MS, measure_ns=20 * MS), rack),
 )
 
 

@@ -15,7 +15,7 @@ from typing import Callable, Optional
 from repro.errors import HardwareError
 from repro.units import transmit_time_ns, us
 
-__all__ = ["Nic", "Link"]
+__all__ = ["Nic", "LinkModel", "Link"]
 
 
 class Nic:
@@ -52,20 +52,63 @@ class Nic:
         self._rx_handler(packet)
 
 
-class Link:
-    """Full-duplex point-to-point link between exactly two NICs."""
+class LinkModel:
+    """Rate/propagation/busy-until accounting shared by every link kind.
 
-    def __init__(self, sim, a: Nic, b: Nic, rate_gbps: float = 40.0, propagation_ns: int = us(1)):
+    A link direction is a store-and-forward serializer at the line rate:
+    a packet starts serializing when the transmitter frees up (never
+    before now), occupies the wire for its serialization time, and lands
+    ``propagation_ns`` after the last bit left.  Subclasses decide where
+    "lands" is — the in-process peer NIC (:class:`Link`) or another
+    shard's host (:class:`repro.cluster.link.CrossShardLink`).
+    """
+
+    def __init__(self, sim, rate_gbps: float = 40.0, propagation_ns: int = us(1)):
         if rate_gbps <= 0:
             raise HardwareError("link rate must be positive")
+        if propagation_ns < 0:
+            raise HardwareError("link propagation must be non-negative")
         self.sim = sim
         self.rate_gbps = rate_gbps
         self.propagation_ns = propagation_ns
-        self.ends = (a, b)
-        a.link = self
-        b.link = self
         # Per-direction time at which the transmitter becomes free.
-        self._busy_until = {a: 0, b: 0}
+        self._busy_until = {}
+
+    def _attach_end(self, nic: Nic) -> None:
+        """Register one transmitting NIC and claim its ``link`` slot."""
+        nic.link = self
+        self._busy_until[nic] = 0
+
+    def serialize(self, src: Nic, size: int) -> int:
+        """Account one transmission out of ``src``; returns the finish time.
+
+        The returned instant is when the last bit leaves the transmitter;
+        arrival at the far end is ``finish + propagation_ns``.
+        """
+        now = self.sim.now
+        busy = self._busy_until[src]
+        start = now if now > busy else busy
+        finish = start + transmit_time_ns(size, self.rate_gbps)
+        self._busy_until[src] = finish
+        return finish
+
+    def transmit(self, src: Nic, packet) -> None:
+        """Serialize ``packet`` out of ``src`` and deliver it."""
+        raise NotImplementedError
+
+    def queued_delay(self, src: Nic) -> int:
+        """Current serialization backlog out of ``src`` (ns)."""
+        return max(0, self._busy_until[src] - self.sim.now)
+
+
+class Link(LinkModel):
+    """Full-duplex point-to-point link between exactly two NICs."""
+
+    def __init__(self, sim, a: Nic, b: Nic, rate_gbps: float = 40.0, propagation_ns: int = us(1)):
+        super().__init__(sim, rate_gbps=rate_gbps, propagation_ns=propagation_ns)
+        self.ends = (a, b)
+        self._attach_end(a)
+        self._attach_end(b)
         # Pre-bound per direction: transmit schedules the peer's receive on
         # every packet, and rebinding the method per call allocates.
         self._deliver_to_peer = {a: b.receive, b: a.receive}
@@ -81,14 +124,5 @@ class Link:
 
     def transmit(self, src: Nic, packet) -> None:
         """Serialize ``packet`` out of ``src`` and deliver it to the peer."""
-        now = self.sim.now
-        busy = self._busy_until[src]
-        start = now if now > busy else busy
-        finish = start + transmit_time_ns(packet.size, self.rate_gbps)
-        self._busy_until[src] = finish
-        arrival = finish + self.propagation_ns
-        self.sim.at(arrival, self._deliver_to_peer[src], packet)
-
-    def queued_delay(self, src: Nic) -> int:
-        """Current serialization backlog out of ``src`` (ns)."""
-        return max(0, self._busy_until[src] - self.sim.now)
+        finish = self.serialize(src, packet.size)
+        self.sim.at(finish + self.propagation_ns, self._deliver_to_peer[src], packet)

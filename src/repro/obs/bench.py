@@ -58,16 +58,27 @@ __all__ = [
 #: v4: top-level ``sched`` block — per-policy ping points (the scheduler
 #: zoo) plus one adaptive-allocation point.  Additive: every v3 metric
 #: keeps its path, so gated comparisons against v3 baselines still work.
-BENCH_SCHEMA_VERSION = 4
+#: v5: top-level ``rack`` block — the sharded multi-host run at 1 and 4
+#: shards: aggregate + per-shard events/sec, cross-shard message counts,
+#: barrier-wait fractions, the byte-identity verdict and the merged
+#: per-host counter snapshot.  Additive again: v4 paths are unchanged.
+BENCH_SCHEMA_VERSION = 5
 
 #: Default windows — identical to ``tests/test_bench_smoke.py``.
 DEFAULT_WARMUP_NS = 20 * MS
 DEFAULT_MEASURE_NS = 60 * MS
 DEFAULT_LATENCY_NS = 250 * MS
 DEFAULT_SCHED_NS = 100 * MS
+# 16 ms keeps the 4-shard aggregate-rate scaling well clear of barrier-
+# overhead noise (8 ms hovers at ~2.5x on a loaded runner; 16 ms is ~3x).
+DEFAULT_RACK_NS = 16 * MS
+RACK_WARMUP_NS = 1 * MS
 
 #: policies measured by the ``sched`` block
 SCHED_ZOO_POLICIES = ("cfs", "rr", "mlfq", "deadline")
+
+#: shard counts measured by the ``rack`` block (the scaling comparison)
+RACK_SHARD_COUNTS = (1, 4)
 
 
 def current_revision() -> str:
@@ -258,6 +269,66 @@ def _sched_policy_point(
     return point
 
 
+def _rack_block(seed: int, measure_ns: int,
+                warmup_ns: int = RACK_WARMUP_NS) -> Dict[str, Any]:
+    """The sharded-rack scaling block: same spec at 1 and N shards.
+
+    The per-shard counter snapshots are merged deterministically (summed
+    per key over hosts in sorted order); the ``simulated_identical``
+    verdict asserts the byte-identity contract the determinism guard
+    enforces on the raw digests.
+    """
+    from repro.cluster import run_rack_once, simulated_digest
+    from repro.experiments.rack import rack_spec
+
+    spec = rack_spec(config="PI+H+R", application="memcached", seed=seed)
+    points: Dict[str, Any] = {}
+    digests = []
+    for n_shards in RACK_SHARD_COUNTS:
+        report = run_rack_once(spec, n_shards, measure_ns, warmup_ns=warmup_ns)
+        digests.append(simulated_digest(report))
+        totals = report["simulated"]["totals"]
+        counters: Dict[str, int] = {}
+        for host in sorted(report["simulated"]["hosts"]):
+            for key, value in report["simulated"]["hosts"][host].get(
+                    "counters", {}).items():
+                counters[key] = counters.get(key, 0) + value
+        points[str(n_shards)] = {
+            "ops_per_sec": totals["ops_per_sec"],
+            "latency_mean_us": totals["latency_mean_us"],
+            "events_fired": totals["events_fired"],
+            "events_per_sec_wall": report["perf"]["events_per_sec_wall"],
+            "aggregate_events_per_sec": report["perf"]["aggregate_events_per_sec"],
+            "messages_cross_shard": report["perf"]["messages_cross_shard"],
+            "barrier_rounds": report["perf"]["barrier_rounds"],
+            "wall_seconds": report["perf"]["wall_seconds"],
+            "counters": counters,
+            "shards": [
+                {
+                    "shard": s["shard"],
+                    "hosts": s["hosts"],
+                    "events_fired": s["events_fired"],
+                    "events_per_sec_wall": s["events_per_sec_wall"],
+                    "barrier_wait_fraction": s["barrier_wait_fraction"],
+                }
+                for s in report["perf"]["shards"]
+            ],
+        }
+    first, last = points[str(RACK_SHARD_COUNTS[0])], points[str(RACK_SHARD_COUNTS[-1])]
+    base_rate = first["aggregate_events_per_sec"]
+    return {
+        "shard_counts": list(RACK_SHARD_COUNTS),
+        "spec": {"n_hosts": spec.n_hosts, "n_client_hosts": spec.n_client_hosts,
+                 "vms_per_host": spec.vms_per_host, "config": spec.config,
+                 "application": spec.application, "seed": spec.seed,
+                 "lookahead_ns": spec.lookahead_ns},
+        "simulated_identical": len(set(digests)) == 1,
+        "aggregate_speedup": last["aggregate_events_per_sec"] / base_rate
+        if base_rate > 0 else 0.0,
+        "points": points,
+    }
+
+
 def run_bench(
     seed: int = 1,
     warmup_ns: int = DEFAULT_WARMUP_NS,
@@ -267,6 +338,7 @@ def run_bench(
     revision: Optional[str] = None,
     profile_top: int = 8,
     sched_duration_ns: int = DEFAULT_SCHED_NS,
+    rack_duration_ns: int = DEFAULT_RACK_NS,
 ) -> Dict[str, Any]:
     """Run the smoke sweep and return the full report as a dict."""
     wall0 = time.perf_counter()
@@ -288,6 +360,7 @@ def run_bench(
         },
         "adaptive": _sched_policy_point("cfs", seed, sched_duration_ns, adaptive=True),
     }
+    rack = _rack_block(seed, rack_duration_ns)
     wall = time.perf_counter() - wall0
     total_events = sum(p["sim"]["events_fired"] for p in throughput.values())
     gap_histograms = {
@@ -312,11 +385,13 @@ def run_bench(
             "measure_ns": measure_ns,
             "latency_duration_ns": latency_duration_ns,
             "sched_duration_ns": sched_duration_ns,
+            "rack_duration_ns": rack_duration_ns,
         },
         "throughput": throughput,
         "hybrid": hybrid,
         "latency_ms": latency,
         "sched": sched,
+        "rack": rack,
         "profile": {"gap_histograms": gap_histograms},
         "watchdog_violations": watchdog_violations,
         "wall_seconds": wall,
@@ -380,6 +455,23 @@ def format_bench(report: Dict[str, Any]) -> str:
                 f"rebalances={stats.get('rebalances', 0)} "
                 f"migrations={stats.get('migrations', 0)}"
             )
+    rack = report.get("rack")
+    if rack:
+        for count in rack["shard_counts"]:
+            point = rack["points"][str(count)]
+            waits = [s["barrier_wait_fraction"] for s in point["shards"]]
+            lines.append(
+                f"  rack {count} shard(s)  agg {point['aggregate_events_per_sec']:,.0f} ev/s  "
+                f"{point['ops_per_sec']:.0f} ops/s  "
+                f"barrier-wait max {max(waits):.2f}  "
+                f"cross msgs {point['messages_cross_shard']}"
+            )
+        lines.append(
+            f"  rack scaling {rack['aggregate_speedup']:.2f}x aggregate, "
+            f"simulated output "
+            + ("identical across shard counts"
+               if rack["simulated_identical"] else "DIVERGED across shard counts")
+        )
     violations = report.get("watchdog_violations")
     if violations is not None:
         lines.append(f"  watchdog {violations} violation(s) across timeline-checked points")
@@ -419,6 +511,8 @@ def main(argv=None) -> int:
     parser.add_argument("--latency-ms", type=int, default=DEFAULT_LATENCY_NS // MS)
     parser.add_argument("--sched-ms", type=int, default=DEFAULT_SCHED_NS // MS,
                         help="per-policy window for the scheduler-zoo block")
+    parser.add_argument("--rack-ms", type=int, default=DEFAULT_RACK_NS // MS,
+                        help="measurement window for the sharded-rack block")
     parser.add_argument("--output", default=None, help="output path (default BENCH_<rev>.json)")
     parser.add_argument("--no-profile", action="store_true",
                         help="skip the per-event-type run-loop profile")
@@ -436,6 +530,7 @@ def main(argv=None) -> int:
         profile=not args.no_profile,
         profile_top=args.profile_top if args.profile_top > 0 else 8,
         sched_duration_ns=args.sched_ms * MS,
+        rack_duration_ns=args.rack_ms * MS,
     )
     path = write_report(report, args.output)
     print(format_bench(report))

@@ -538,6 +538,64 @@ def _sched_section(report: Dict[str, Any]) -> str:
     return "<h2>Scheduler policies</h2>" + "".join(out)
 
 
+def _rack_section(report: Dict[str, Any]) -> str:
+    """Sharded-rack scaling panel (schema v5 ``rack`` block; additive)."""
+    rack = report.get("rack")
+    if not rack:
+        return ""
+    spec = rack.get("spec", {})
+    rows = []
+    for count in rack.get("shard_counts", []):
+        point = rack["points"][str(count)]
+        waits = [s["barrier_wait_fraction"] for s in point["shards"]]
+        rows.append(
+            f'<tr><td class="num">{count}</td>'
+            f'<td class="num">{point["aggregate_events_per_sec"]:,.0f}</td>'
+            f'<td class="num">{point["events_per_sec_wall"]:,.0f}</td>'
+            f'<td class="num">{point["ops_per_sec"]:,.0f}</td>'
+            f'<td class="num">{point["latency_mean_us"]:,.0f}</td>'
+            f'<td class="num">{max(waits):.2f}</td>'
+            f'<td class="num">{point["messages_cross_shard"]:,}</td></tr>'
+        )
+    identical = rack.get("simulated_identical")
+    verdict = ("simulated output byte-identical across shard counts"
+               if identical else
+               "simulated output DIVERGED across shard counts")
+    shard_rows = []
+    last = rack["points"][str(rack["shard_counts"][-1])]
+    for s in last["shards"]:
+        shard_rows.append(
+            f'<tr><td class="num">{s["shard"]}</td>'
+            f"<td>{_esc(', '.join(s['hosts']))}</td>"
+            f'<td class="num">{s["events_fired"]:,}</td>'
+            f'<td class="num">{s["events_per_sec_wall"]:,.0f}</td>'
+            f'<td class="num">{s["barrier_wait_fraction"]:.2f}</td></tr>'
+        )
+    return (
+        "<h2>Sharded rack</h2>"
+        '<div class="card"><div class="chart-title">Rack scaling by shard count</div>'
+        f'<div class="chart-unit">{spec.get("n_hosts", "?")} ES2 hosts + '
+        f'{spec.get("n_client_hosts", "?")} client hosts, '
+        f'{_esc(str(spec.get("config", "?")))} / '
+        f'{_esc(str(spec.get("application", "?")))}; '
+        f'aggregate speedup {rack.get("aggregate_speedup", 0.0):.2f}x; '
+        f"{verdict}</div><table>"
+        '<tr><th class="num">shards</th><th class="num">agg ev/s</th>'
+        '<th class="num">realized ev/s</th><th class="num">ops/s</th>'
+        '<th class="num">lat mean µs</th><th class="num">barrier wait max</th>'
+        '<th class="num">cross msgs</th></tr>'
+        + "".join(rows) + "</table></div>"
+        '<div class="card"><div class="chart-title">Per-shard breakdown '
+        f'({rack["shard_counts"][-1]} shards)</div>'
+        '<div class="chart-unit">events/s while advancing, and the fraction of '
+        "wall time spent waiting at window barriers</div><table>"
+        '<tr><th class="num">shard</th><th>hosts</th>'
+        '<th class="num">events</th><th class="num">ev/s busy</th>'
+        '<th class="num">barrier wait</th></tr>'
+        + "".join(shard_rows) + "</table></div>"
+    )
+
+
 def _gap_histograms(report: Dict[str, Any]) -> str:
     hists = report.get("profile", {}).get("gap_histograms", {})
     out = []
@@ -581,6 +639,7 @@ def render_dashboard(report: Dict[str, Any]) -> str:
         + _crosscheck_table(report)
         + _timeline_sections(report)
         + _sched_section(report)
+        + _rack_section(report)
         + "<h2>Event-path attribution</h2>"
         + _path_table(report)
         + "<h2>Simulator profile</h2>"

@@ -20,7 +20,44 @@ from repro.sim.event import Event, EventQueue
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import NullTracer, TraceRecorder
 
-__all__ = ["Simulator"]
+__all__ = ["Simulator", "CrossShardIngress"]
+
+
+class CrossShardIngress:
+    """Entry point for events stamped by *another* simulator's clock.
+
+    The sharded rack runner (:mod:`repro.cluster`) delivers cross-shard
+    packets as ``(stamp, callback)`` pairs at window barriers.  Conservative
+    time-window synchronization guarantees every stamp lies at or beyond
+    this simulator's clock; this queue is where that invariant is enforced
+    rather than assumed — a stamp in the local past raises instead of
+    silently reordering history.
+
+    ``injected`` and ``min_margin_ns`` (the smallest observed
+    ``stamp - now`` slack) are exported so tests and the bench ``rack``
+    block can prove the lookahead bound held for a whole run.
+    """
+
+    __slots__ = ("sim", "injected", "min_margin_ns")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.injected = 0
+        self.min_margin_ns: Optional[int] = None
+
+    def inject(self, stamp: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute time ``stamp`` (>= now)."""
+        now = self.sim.now
+        margin = stamp - now
+        if margin < 0:
+            raise SimulationError(
+                f"conservative-sync violation: remote event stamped {stamp} "
+                f"arrived with local clock at {now} ({-margin} ns in the past)"
+            )
+        if self.min_margin_ns is None or margin < self.min_margin_ns:
+            self.min_margin_ns = margin
+        self.injected += 1
+        return self.sim.at(stamp, fn, *args)
 
 
 def _sole_refcount() -> int:
@@ -85,6 +122,8 @@ class Simulator:
         self.rng = RngRegistry(seed)
         self.trace = trace if trace is not None else NullTracer()
         self.obs = Observability()
+        #: barrier-time entry point for remotely-stamped events (repro.cluster)
+        self.ingress = CrossShardIngress(self)
         self._profiler: Optional[EventProfiler] = None
         self._running = False
         self._events_fired = 0

@@ -17,7 +17,7 @@ queues (and ACK/protocol work done) without waiting for vCPU 0.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, List, TYPE_CHECKING
+from typing import Callable, Deque, List, Optional, TYPE_CHECKING
 
 from repro.errors import WorkloadError
 from repro.guest.ops import GWork
@@ -32,17 +32,25 @@ __all__ = ["ServerWorkerTask", "GuestServiceFlow", "ClosedLoopClient", "Request"
 
 
 class Request:
-    """One in-flight request (guest-side bookkeeping)."""
+    """One in-flight request (guest-side bookkeeping).
 
-    __slots__ = ("flow_id", "kind", "service_ns", "response_bytes", "created", "conn")
+    ``reply_to`` overrides the worker's default response address — a rack
+    server VM answers clients on many hosts, so the destination is a
+    property of the connection, not of the worker thread.
+    """
 
-    def __init__(self, flow_id, kind, service_ns, response_bytes, created, conn):
+    __slots__ = ("flow_id", "kind", "service_ns", "response_bytes", "created", "conn",
+                 "reply_to")
+
+    def __init__(self, flow_id, kind, service_ns, response_bytes, created, conn,
+                 reply_to=None):
         self.flow_id = flow_id
         self.kind = kind
         self.service_ns = service_ns
         self.response_bytes = response_bytes
         self.created = created
         self.conn = conn
+        self.reply_to = reply_to
 
 
 class ServerWorkerTask(GuestTask):
@@ -89,7 +97,7 @@ class ServerWorkerTask(GuestTask):
                     req.flow_id,
                     "resp",
                     wire,
-                    dst=self.reply_to,
+                    dst=req.reply_to if req.reply_to is not None else self.reply_to,
                     seq=seq,
                     created=req.created,
                     meta=(req.conn, remaining == 0),
@@ -100,12 +108,19 @@ class ServerWorkerTask(GuestTask):
 
 
 class GuestServiceFlow:
-    """NAPI-side receiver for one connection: demuxes requests to a worker."""
+    """NAPI-side receiver for one connection: demuxes requests to a worker.
 
-    def __init__(self, netstack, flow_id: str, worker: ServerWorkerTask):
+    ``reply_to`` fixes the response address for every request on this
+    connection (rack clients live on other hosts); None keeps the worker's
+    default — the single-testbed external peer.
+    """
+
+    def __init__(self, netstack, flow_id: str, worker: ServerWorkerTask,
+                 reply_to: Optional[str] = None):
         self.netstack = netstack
         self.flow_id = flow_id
         self.worker = worker
+        self.reply_to = reply_to
         self.requests_received = 0
         netstack.register_flow(flow_id, self)
 
@@ -122,6 +137,7 @@ class GuestServiceFlow:
             response_bytes,
             packet.created,
             packet.seq,
+            reply_to=self.reply_to,
         )
         # The request packet dies here; its object is reused by the worker
         # for a response on this flow.

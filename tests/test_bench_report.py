@@ -75,6 +75,7 @@ def test_cli_main_writes_artifact(tmp_path, capsys):
         "--measure-ms", "15",
         "--latency-ms", "50",
         "--sched-ms", "40",
+        "--rack-ms", "4",
         "--no-profile",
         "--output", str(out),
     ])
@@ -88,8 +89,11 @@ def test_cli_main_writes_artifact(tmp_path, capsys):
         "measure_ns": 15 * 10**6,
         "latency_duration_ns": 50 * 10**6,
         "sched_duration_ns": 40 * 10**6,
+        "rack_duration_ns": 4 * 10**6,
     }
     assert set(report["sched"]["policies"]) == {"cfs", "rr", "mlfq", "deadline"}
     assert report["sched"]["adaptive"]["samples"] > 0
+    assert report["rack"]["simulated_identical"] is True
+    assert report["rack"]["shard_counts"] == list(bench.RACK_SHARD_COUNTS)
     printed = capsys.readouterr().out
     assert "bench report" in printed and str(out) in printed

@@ -9,7 +9,7 @@ from repro.flow.state import run_key_for, task_key
 from repro.flow.tasks import MODES, build_graph, task_names
 from repro.units import MS, SEC
 
-EXPECTED_SWEEPS = 15
+EXPECTED_SWEEPS = 16
 EXPECTED_TASKS = 1 + 2 * EXPECTED_SWEEPS + 3 + 1  # calibrate, sweeps+renders, bench*3, report
 
 
