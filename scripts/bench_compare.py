@@ -72,12 +72,14 @@ def _metrics(report: Dict[str, Any]) -> Iterator[Tuple[str, str, float]]:
 
 
 def _rack_info(report: Dict[str, Any]) -> Dict[str, float]:
-    """Schema v5 rack metrics: listed for trajectory, never gated.
+    """Schema v5/v6 rack metrics: listed for trajectory, never gated.
 
-    Everything here is wall-clock scaling on whatever machine ran the
-    bench (shard processes racing for cores), so thresholding it would
-    gate on CI hardware, not on the code.  Byte-identity — the rack's
-    *correctness* claim — is enforced by the determinism guard, not here.
+    Everything here is either wall-clock scaling on whatever machine ran
+    the bench (shard processes racing for cores) or observability output
+    whose interesting failure modes (missing marks, broken stitching)
+    already fail tests, so thresholding it would gate on CI hardware,
+    not on the code.  Byte-identity — the rack's *correctness* claim —
+    is enforced by the determinism guard, not here.
     """
     rack = report.get("rack")
     if not rack:
@@ -92,6 +94,26 @@ def _rack_info(report: Dict[str, Any]) -> Dict[str, float]:
         info[f"rack[{count}].barrier_wait_max"] = float(max(waits)) if waits else 0.0
     info["rack.aggregate_speedup"] = float(rack.get("aggregate_speedup", 0.0))
     info["rack.simulated_identical"] = 1.0 if rack.get("simulated_identical") else 0.0
+    tel = rack.get("telemetry") or {}
+    if tel:
+        paths = tel.get("paths", {})
+        counts = paths.get("counts", {})
+        rtt = paths.get("rtt", {})
+        info["rack.telemetry.paths_total"] = float(counts.get("total", 0))
+        info["rack.telemetry.paths_complete"] = float(counts.get("complete", 0))
+        info["rack.telemetry.rtt_p50_us"] = float(rtt.get("p50_us", 0.0))
+        info["rack.telemetry.rtt_p99_us"] = float(rtt.get("p99_us", 0.0))
+        cross = paths.get("cross_host", {})
+        info["rack.telemetry.multi_host_paths"] = \
+            float(cross.get("complete_multi_host", 0))
+        wd = tel.get("watchdog", {})
+        info["rack.telemetry.watchdog_violations"] = \
+            float(wd.get("violations", 0))
+        barrier = tel.get("barrier", {})
+        utils = [s.get("lookahead_utilization", 0.0)
+                 for s in barrier.get("per_shard", [])]
+        if utils:
+            info["rack.telemetry.lookahead_util_min"] = float(min(utils))
     return info
 
 

@@ -15,7 +15,11 @@ boundary events never perturb simulated metrics (``repro.obs.timeline``).
 A **sharded leg** extends the guard to the rack (``repro.cluster``): the
 same fixed-seed rack scenario at 1, 2 and 4 shards must produce
 byte-identical ``simulated`` blocks — the conservative window-barrier
-protocol's layout-independence contract.
+protocol's layout-independence contract.  The leg then repeats every
+shard count with **rack telemetry enabled** (host-scoped spans, windowed
+timelines + watchdog, barrier profiling — ``repro.obs.rack``) and holds
+those digests to the same reference: observability is an observer at
+rack scale too, or this guard fails.
 """
 
 from __future__ import annotations
@@ -91,7 +95,12 @@ def main() -> int:
           "and with the timeline sampler enabled")
 
     # Sharded leg: the rack's simulated block is layout-invariant.
-    from repro.cluster import reduced_rack_spec, run_rack_once, simulated_digest
+    from repro.cluster import (
+        RackTelemetry,
+        reduced_rack_spec,
+        run_rack_once,
+        simulated_digest,
+    )
 
     spec = reduced_rack_spec(seed=SEED)
     digests = {}
@@ -107,6 +116,26 @@ def main() -> int:
             return 1
     print(f"determinism guard OK: rack seed={SEED} simulated block "
           f"byte-identical at {RACK_SHARDS} shards")
+
+    # Telemetry leg: rack observability (spans + timeline + watchdog +
+    # barrier profiling) must not move a single simulated byte, at any
+    # shard count, relative to the *un-instrumented* reference above.
+    telemetry = RackTelemetry()
+    for n_shards in RACK_SHARDS:
+        report = run_rack_once(spec, n_shards, RACK_MEASURE_NS,
+                               warmup_ns=RACK_WARMUP_NS, telemetry=telemetry)
+        instrumented = simulated_digest(report)
+        if instrumented != digests[reference]:
+            _diff("plain-rack", digests[reference],
+                  f"telemetry-{n_shards}-shard", instrumented)
+            return 1
+        if "telemetry" not in report:
+            print("DETERMINISM GUARD FAILED: telemetry run produced no "
+                  "telemetry block", file=sys.stderr)
+            return 1
+    print(f"determinism guard OK: rack telemetry is observer-only — "
+          f"simulated block unchanged at {RACK_SHARDS} shards with spans, "
+          "timeline, watchdog and barrier profiling enabled")
     return 0
 
 

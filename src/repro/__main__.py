@@ -108,6 +108,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--configs", nargs="+", default=list(DEFAULT_RACK_CONFIGS))
     p.add_argument("--application", choices=("memcached", "apache"),
                    default="memcached")
+    p.add_argument("--trace", metavar="PATH", default=None,
+                   help="enable rack telemetry and write the merged "
+                        "(per-shard track groups + stitched paths) "
+                        "Perfetto JSON here")
+    p.add_argument("--dashboard", metavar="PATH", default=None,
+                   help="enable rack telemetry and write the rack "
+                        "observability dashboard HTML here")
 
     p = sub.add_parser(
         "schedsweep",
@@ -243,11 +250,34 @@ def main(argv=None) -> int:
         # the common 200/500 ms windows would run for minutes).
         rack_warmup = warmup if cmd == "rack" else 2 * MS
         rack_measure = measure if cmd == "rack" else 20 * MS
-        print(format_rack(run_rack(
+        trace_path = args.__dict__.get("trace")
+        dash_path = args.__dict__.get("dashboard")
+        telemetry = None
+        if trace_path or dash_path:
+            from repro.cluster import RackTelemetry
+
+            telemetry = RackTelemetry()
+        rack_results = run_rack(
             configs=tuple(args.__dict__.get("configs", DEFAULT_RACK_CONFIGS)),
             shard_counts=tuple(args.__dict__.get("shards", DEFAULT_SHARD_COUNTS)),
             application=args.__dict__.get("application", "memcached"),
-            seed=seed(3), warmup_ns=rack_warmup, measure_ns=rack_measure)))
+            seed=seed(3), warmup_ns=rack_warmup, measure_ns=rack_measure,
+            telemetry=telemetry)
+        print(format_rack(rack_results))
+        if telemetry is not None:
+            from repro.obs.rack import write_rack_dashboard, write_rack_perfetto
+
+            # Export the most instrumented cell: last config, max shards.
+            key = max((k for k in rack_results), key=lambda k: k[1])
+            report = rack_results[key]
+            if trace_path:
+                write_rack_perfetto(report, trace_path)
+                print(f"rack perfetto trace ({key[0]}, {key[1]} shards) "
+                      f"-> {trace_path}")
+            if dash_path:
+                write_rack_dashboard(report, dash_path)
+                print(f"rack dashboard ({key[0]}, {key[1]} shards) "
+                      f"-> {dash_path}")
     if cmd == "schedsweep" or cmd == "all":
         from repro.experiments.schedzoo import REDIRECTION_MODES, SCHED_POLICIES
 

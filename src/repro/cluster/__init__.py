@@ -11,10 +11,11 @@ for every shard count; only wall-clock scaling changes.
 from repro.cluster.coordinator import ShardedSimulator, run_rack_once, simulated_digest
 from repro.cluster.link import CrossShardLink
 from repro.cluster.shard import Shard, ShardFabric
-from repro.cluster.topology import RackSpec, reduced_rack_spec
+from repro.cluster.topology import RackSpec, RackTelemetry, reduced_rack_spec
 
 __all__ = [
     "RackSpec",
+    "RackTelemetry",
     "reduced_rack_spec",
     "CrossShardLink",
     "Shard",

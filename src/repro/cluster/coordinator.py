@@ -24,6 +24,14 @@ With ``n_shards=1`` the same protocol runs inline in the calling
 process: that is the single-process reference run, and the per-host
 results it produces are byte-identical to any multi-process layout —
 the contract the determinism guard's sharded leg enforces.
+
+Observability piggybacks on the same pipes: each barrier reply carries
+the shard's window wall time and cumulative event count (the barrier
+profile's raw material), and the finish reply carries the per-host
+telemetry bundles (span marks, timeline windows, watchdog verdicts,
+profiler summaries) that :mod:`repro.obs.rack` stitches and aggregates
+into the report's ``telemetry`` block.  All of it is observer-only —
+the ``simulated`` block never changes with telemetry on or off.
 """
 
 from __future__ import annotations
@@ -32,31 +40,37 @@ import json
 import traceback
 from dataclasses import asdict
 from time import perf_counter
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.cluster.shard import Shard
-from repro.cluster.topology import RackSpec
+from repro.cluster.topology import RackSpec, RackTelemetry
 from repro.errors import ClusterError
+from repro.obs.rack import build_rack_telemetry
 from repro.parallel.sweep import pool_context
 
 __all__ = ["ShardedSimulator", "run_rack_once", "simulated_digest"]
 
 
-def _shard_main(conn, spec: RackSpec, host_names) -> None:
+def _shard_main(conn, spec: RackSpec, host_names,
+                telemetry: Optional[RackTelemetry] = None) -> None:
     """Worker-process entry point: build the shard, serve barrier rounds."""
     try:
-        shard = Shard(spec, host_names)
+        shard = Shard(spec, host_names, telemetry=telemetry)
         shard.start()
         barrier_wait_s = 0.0
         while True:
             t0 = perf_counter()
             cmd = conn.recv()
-            barrier_wait_s += perf_counter() - t0
+            wait_s = perf_counter() - t0
+            barrier_wait_s += wait_s
             if cmd[0] == "window":
                 _tag, t_end, inbound, mark_first = cmd
                 if mark_first:
                     shard.mark()
-                conn.send(("out", shard.run_window(t_end, inbound)))
+                out = shard.run_window(t_end, inbound)
+                stats = shard.window_stats()
+                stats["wait_s"] = wait_s
+                conn.send(("out", out, stats))
             elif cmd[0] == "finish":
                 stats = {
                     "events_fired": shard.events_fired(),
@@ -65,7 +79,8 @@ def _shard_main(conn, spec: RackSpec, host_names) -> None:
                     "messages_emitted": shard.fabric.emitted,
                     "messages_delivered": shard.fabric.delivered,
                 }
-                conn.send(("results", shard.results(), stats))
+                conn.send(("results", shard.results(), stats,
+                           shard.host_telemetry()))
                 return
             else:  # pragma: no cover - protocol bug
                 raise ClusterError(f"unknown shard command {cmd[0]!r}")
@@ -83,14 +98,18 @@ def _shard_main(conn, spec: RackSpec, host_names) -> None:
 class _InlineShard:
     """Single-process driver speaking the same protocol as a worker."""
 
-    def __init__(self, spec: RackSpec, host_names):
-        self.shard = Shard(spec, host_names)
+    def __init__(self, spec: RackSpec, host_names,
+                 telemetry: Optional[RackTelemetry] = None):
+        self.shard = Shard(spec, host_names, telemetry=telemetry)
         self.shard.start()
 
     def round(self, t_end, inbound, mark_first):
         if mark_first:
             self.shard.mark()
-        return self.shard.run_window(t_end, inbound)
+        out = self.shard.run_window(t_end, inbound)
+        stats = self.shard.window_stats()
+        stats["wait_s"] = 0.0
+        return out, stats
 
     def finish(self):
         shard = self.shard
@@ -100,19 +119,26 @@ class _InlineShard:
             "barrier_wait_s": 0.0,
             "messages_emitted": shard.fabric.emitted,
             "messages_delivered": shard.fabric.delivered,
-        }
+        }, shard.host_telemetry()
 
 
 class ShardedSimulator:
     """Coordinator for one sharded rack run."""
 
-    def __init__(self, spec: RackSpec, n_shards: int = 1):
+    def __init__(self, spec: RackSpec, n_shards: int = 1,
+                 telemetry: Optional[RackTelemetry] = None):
         spec.validate()
+        if telemetry is not None:
+            telemetry.validate()
         self.spec = spec
         self.n_shards = n_shards
+        self.telemetry = telemetry
         self.partitions = spec.partition(n_shards)
         self._host_shard = {h: s for s, hosts in enumerate(self.partitions)
                             for h in hosts}
+        #: window_records[s][k] = shard s's {"wall_s","events","wait_s"}
+        #: for barrier round k (filled during run)
+        self._window_records: List[List[Dict[str, float]]] = []
 
     # ----------------------------------------------------------------- run
     def run(self, duration_ns: int, warmup_ns: int = 0) -> Dict[str, Any]:
@@ -122,7 +148,10 @@ class ShardedSimulator:
         ``warmup_ns`` (client op counters and latency reset there) and
         closes at the final horizon.  The returned report separates
         ``simulated`` (layout-invariant, byte-comparable across shard
-        counts) from ``perf`` (wall-clock scaling, barrier overheads).
+        counts) from ``perf`` (wall-clock scaling, barrier overheads)
+        and — when a :class:`RackTelemetry` config was given —
+        ``telemetry`` (stitched paths, rack-wide timeline, barrier
+        profile; never feeds back into ``simulated``).
         """
         if duration_ns <= 0:
             raise ClusterError("rack run needs a positive measurement duration")
@@ -131,16 +160,17 @@ class ShardedSimulator:
         window = self.spec.lookahead_ns
         mark_window = -(-warmup_ns // window)          # ceil
         total_windows = mark_window + -(-duration_ns // window)
+        self._window_records = [[] for _ in range(self.n_shards)]
         wall0 = perf_counter()
         if self.n_shards == 1:
-            results, shard_stats, cross = self._run_inline(window, total_windows,
-                                                           mark_window)
+            results, shard_stats, cross, host_telemetry = self._run_inline(
+                window, total_windows, mark_window)
         else:
-            results, shard_stats, cross = self._run_processes(window, total_windows,
-                                                              mark_window)
+            results, shard_stats, cross, host_telemetry = self._run_processes(
+                window, total_windows, mark_window)
         wall = perf_counter() - wall0
         return self._report(results, shard_stats, cross, window,
-                            total_windows, mark_window, wall)
+                            total_windows, mark_window, wall, host_telemetry)
 
     def _route(self, outboxes: List[list]) -> Tuple[List[list], int]:
         """Group one round's emissions by destination shard.
@@ -160,22 +190,28 @@ class ShardedSimulator:
         return inbound, cross
 
     def _run_inline(self, window, total_windows, mark_window):
-        driver = _InlineShard(self.spec, self.partitions[0])
+        driver = _InlineShard(self.spec, self.partitions[0],
+                              telemetry=self.telemetry)
         pending = []
         cross = 0
         for k in range(1, total_windows + 1):
-            pending = driver.round(k * window, pending, k - 1 == mark_window)
-        results, stats = driver.finish()
-        return results, [stats], cross
+            pending, wstats = driver.round(k * window, pending,
+                                           k - 1 == mark_window)
+            self._window_records[0].append(wstats)
+        results, stats, host_telemetry = driver.finish()
+        bundles = dict(host_telemetry) if host_telemetry else {}
+        return results, [stats], cross, (bundles or None)
 
     def _run_processes(self, window, total_windows, mark_window):
         ctx = pool_context()
         conns, procs = [], []
+        failed = False
         try:
             for host_names in self.partitions:
                 parent_conn, child_conn = ctx.Pipe()
                 proc = ctx.Process(target=_shard_main,
-                                   args=(child_conn, self.spec, host_names))
+                                   args=(child_conn, self.spec, host_names,
+                                         self.telemetry))
                 proc.start()
                 child_conn.close()
                 conns.append(parent_conn)
@@ -186,19 +222,36 @@ class ShardedSimulator:
                 mark_first = (k - 1 == mark_window)
                 for conn, batch in zip(conns, inbound):
                     conn.send(("window", k * window, batch, mark_first))
-                outboxes = [self._recv(conn, s) for s, conn in enumerate(conns)]
+                outboxes = []
+                for s, conn in enumerate(conns):
+                    reply = self._recv_raw(conn, procs, s)
+                    outboxes.append(reply[1])
+                    self._window_records[s].append(reply[2])
                 inbound, cross = self._route(outboxes)
                 cross_total += cross
             for conn in conns:
                 conn.send(("finish",))
             results: Dict[str, dict] = {}
             shard_stats = []
+            host_telemetry: Dict[str, dict] = {}
             for s, conn in enumerate(conns):
-                reply = self._recv_raw(conn, s)
+                reply = self._recv_raw(conn, procs, s)
                 results.update(reply[1])
                 shard_stats.append(reply[2])
-            return results, shard_stats, cross_total
+                if reply[3]:
+                    host_telemetry.update(reply[3])
+            return results, shard_stats, cross_total, (host_telemetry or None)
+        except BaseException:
+            failed = True
+            raise
         finally:
+            if failed:
+                # Fail fast: the surviving workers are blocked in recv();
+                # closing their pipes (EOFError -> clean return) is usually
+                # enough, but a wedged worker must not hang the join below.
+                for proc in procs:
+                    if proc.is_alive():
+                        proc.terminate()
             for conn in conns:
                 conn.close()
             for proc in procs:
@@ -207,20 +260,38 @@ class ShardedSimulator:
                     proc.terminate()
                     proc.join()
 
-    def _recv(self, conn, shard_index: int) -> list:
-        reply = self._recv_raw(conn, shard_index)
+    def _recv(self, conn, procs, shard_index: int) -> list:
+        reply = self._recv_raw(conn, procs, shard_index)
         return reply[1]
 
     @staticmethod
-    def _recv_raw(conn, shard_index: int):
-        reply = conn.recv()
+    def _recv_raw(conn, procs, shard_index: int):
+        """One barrier reply; turns worker death into a clear ClusterError.
+
+        A worker that raised sends ``("error", traceback)`` before closing
+        its pipe; a worker *killed* (OOM, signal, os._exit) closes the pipe
+        with nothing in it, which surfaces here as EOFError — translated
+        into an error naming the shard and its exit code rather than
+        leaving the coordinator blocked or the caller with a bare EOF.
+        """
+        try:
+            reply = conn.recv()
+        except EOFError:
+            proc = procs[shard_index]
+            proc.join(timeout=5)
+            code = proc.exitcode
+            raise ClusterError(
+                f"shard {shard_index} died without reply "
+                f"(exitcode {code}): worker killed or crashed before "
+                "reaching its error handler"
+            ) from None
         if reply[0] == "error":
             raise ClusterError(f"shard {shard_index} failed:\n{reply[1]}")
         return reply
 
     # -------------------------------------------------------------- report
     def _report(self, results, shard_stats, cross, window, total_windows,
-                mark_window, wall_s) -> Dict[str, Any]:
+                mark_window, wall_s, host_telemetry=None) -> Dict[str, Any]:
         # Aggregate in sorted host order: float reductions are not
         # associative, and gather order depends on the shard layout.
         results = {name: results[name] for name in sorted(results)}
@@ -268,7 +339,7 @@ class ShardedSimulator:
                     stats["events_fired"] / stats["run_wall_s"]
                     if stats["run_wall_s"] > 0 else 0.0,
             })
-        return {
+        report = {
             "spec": asdict(self.spec),
             "n_shards": self.n_shards,
             "simulated": simulated,
@@ -286,13 +357,25 @@ class ShardedSimulator:
                 "shards": perf_shards,
             },
         }
+        if host_telemetry is not None and self.telemetry is not None:
+            report["telemetry"] = build_rack_telemetry(
+                config=asdict(self.telemetry),
+                host_bundles=host_telemetry,
+                host_order=self.spec.hosts,
+                window_records=self._window_records,
+                partitions=self.partitions,
+                lookahead_ns=window,
+            )
+        return report
 
 
 def run_rack_once(spec: RackSpec, n_shards: int, duration_ns: int,
-                  warmup_ns: int = 0) -> Dict[str, Any]:
+                  warmup_ns: int = 0,
+                  telemetry: Optional[RackTelemetry] = None) -> Dict[str, Any]:
     """Convenience wrapper: one sharded run of one spec."""
-    return ShardedSimulator(spec, n_shards=n_shards).run(duration_ns,
-                                                         warmup_ns=warmup_ns)
+    return ShardedSimulator(spec, n_shards=n_shards,
+                            telemetry=telemetry).run(duration_ns,
+                                                     warmup_ns=warmup_ns)
 
 
 def simulated_digest(report: Dict[str, Any]) -> str:

@@ -37,6 +37,19 @@ from repro.workloads.rpc import GuestServiceFlow, ServerWorkerTask
 
 __all__ = ["RackServerHost", "RackClientHost", "build_host"]
 
+
+def _simulated_events(sim) -> int:
+    """``events_fired`` as a *simulated* metric: net of observer events.
+
+    The timeline sampler is the one observer that schedules events of its
+    own (window boundaries).  Rack host readouts are byte-compared across
+    telemetry configurations, so they subtract those boundary firings —
+    leaving exactly the events the simulated system itself executed.
+    """
+    fired = sim.events_fired
+    tl = sim.obs.timeline
+    return fired - tl.boundary_events if tl is not None else fired
+
 #: client-host kernel-stack latency per transmission (matches ExternalHost)
 _CLIENT_STACK_NS = us(3)
 
@@ -121,7 +134,7 @@ class RackServerHost(Testbed):
         nic = self.machine.nic
         return {
             "kind": "server",
-            "events_fired": self.sim.events_fired,
+            "events_fired": _simulated_events(self.sim),
             "requests_served": sum(w.served for w in self.workers),
             "nic": {"tx_packets": nic.tx_packets, "tx_bytes": nic.tx_bytes,
                     "rx_packets": nic.rx_packets, "rx_bytes": nic.rx_bytes},
@@ -191,6 +204,13 @@ class RackClientHost:
         payload_wire, service_ns, response_bytes = self._make_request()
         conn = self._next_conn
         self._next_conn += 1
+        # Span origin at the creation instant (== ``created``), so a
+        # stitched trace's total is *exactly* the latency sample this
+        # host records when the final response segment lands.
+        sp = self.sim.obs.spans
+        ctx = (sp.new_context(self.sim.now, self.spec.application,
+                              flow=flow_id, host=self.name)
+               if sp is not None else None)
         pkt = self.pool.acquire(
             flow_id,
             "req",
@@ -199,6 +219,7 @@ class RackClientHost:
             seq=conn,
             created=self.sim.now,
             meta=(service_ns, response_bytes),
+            ctx=ctx,
         )
         self.sim.schedule(_CLIENT_STACK_NS, self.nic.send, pkt)
 
@@ -209,9 +230,14 @@ class RackClientHost:
             return
         conn, final = packet.meta
         created = packet.created
+        ctx = packet.ctx
         self.pool.release(packet)
         if not final:
             return
+        if ctx is not None:
+            sp = self.sim.obs.spans
+            if sp is not None:
+                sp.mark(self.sim.now, ctx, "delivered", host=self.name)
         self.completed += 1
         self.latency.add(self.sim.now - created)
         self._send_request(flow.flow_id)
@@ -230,7 +256,7 @@ class RackClientHost:
         lat = self.latency
         return {
             "kind": "client",
-            "events_fired": self.sim.events_fired,
+            "events_fired": _simulated_events(self.sim),
             "ops_completed": ops,
             "ops_per_sec": ops * 1e9 / elapsed if elapsed > 0 else 0.0,
             "latency_us": {

@@ -12,8 +12,12 @@ Messages are plain tuples of primitives so they pickle cheaply across
 process boundaries, and they are re-materialized as fresh
 :class:`~repro.net.packet.Packet` objects on the receiving host — object
 identity never crosses a shard.  The observability trace context
-(``packet.ctx``) is deliberately dropped at the shard boundary: span ids
-are meaningless in another simulator's recorder.
+(``packet.ctx``) *does* cross: rack recorders allocate host-scoped
+string ids (``"c0#17"``), so a context is globally unique and the
+coordinator can stitch each host's marks into one end-to-end PathTrace
+(:mod:`repro.obs.rack`).  The uplink marks ``xshard_tx`` when it
+finishes serializing an instrumented packet onto the fabric; the
+receiving fabric marks ``xshard_rx`` at the stamped arrival instant.
 """
 
 from __future__ import annotations
@@ -31,16 +35,17 @@ Message = Tuple[int, str, str, int, tuple]
 
 
 def encode_packet(packet) -> tuple:
-    """The picklable field tuple of one packet (trace context dropped)."""
+    """The picklable field tuple of one packet (trace context included)."""
     return (packet.flow, packet.kind, packet.size, packet.dst,
-            packet.seq, packet.acked, packet.created, packet.meta)
+            packet.seq, packet.acked, packet.created, packet.meta,
+            packet.ctx)
 
 
 def decode_packet(fields: tuple) -> Packet:
     """Materialize a fresh local packet from a field tuple."""
-    flow, kind, size, dst, seq, acked, created, meta = fields
+    flow, kind, size, dst, seq, acked, created, meta, ctx = fields
     return Packet(flow, kind, size, dst, seq=seq, acked=acked,
-                  created=created, meta=meta)
+                  created=created, meta=meta, ctx=ctx)
 
 
 def message_sort_key(msg: Message) -> tuple:
@@ -74,4 +79,8 @@ class CrossShardLink(LinkModel):
     def transmit(self, src: Nic, packet) -> None:
         """Serialize ``packet`` onto the fabric; stamped delivery elsewhere."""
         finish = self.serialize(src, packet.size)
+        if packet.ctx is not None:
+            sp = self.sim.obs.spans
+            if sp is not None:
+                sp.mark(finish, packet.ctx, "xshard_tx", src=self.src_host)
         self.fabric.emit(self.src_host, finish + self.propagation_ns, packet)

@@ -22,12 +22,13 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from time import perf_counter
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from repro.cluster.host import RackClientHost, build_host
+from repro.cluster.host import RackClientHost, RackServerHost, build_host
 from repro.cluster.link import Message, decode_packet, encode_packet, message_sort_key
-from repro.cluster.topology import RackSpec
+from repro.cluster.topology import RackSpec, RackTelemetry
 from repro.errors import ClusterError
+from repro.obs.spans import SPAN_MARK_KIND
 
 __all__ = ["ShardFabric", "Shard"]
 
@@ -80,20 +81,29 @@ class ShardFabric:
     # ------------------------------------------------------------ ingress
     def deliver(self, msg: Message) -> None:
         """Inject one inbound message into its host's ingress queue."""
-        arrival_ns, dst_host, _src_host, _seq, fields = msg
+        arrival_ns, dst_host, src_host, _seq, fields = msg
         entry = self._local_rx.get(dst_host)
         if entry is None:
             raise ClusterError(f"message routed to non-local host {dst_host}")
         sim, rx = entry
-        sim.ingress.inject(arrival_ns, rx, decode_packet(fields))
+        packet = decode_packet(fields)
+        if packet.ctx is not None:
+            sp = sim.obs.spans
+            if sp is not None:
+                # Marked at barrier time with the *stamped arrival* as the
+                # mark instant — the same t under every shard layout.
+                sp.mark(arrival_ns, packet.ctx, "xshard_rx", src=src_host)
+        sim.ingress.inject(arrival_ns, rx, packet)
         self.delivered += 1
 
 
 class Shard:
     """The hosts of one shard plus their window-advance machinery."""
 
-    def __init__(self, spec: RackSpec, host_names):
+    def __init__(self, spec: RackSpec, host_names,
+                 telemetry: Optional[RackTelemetry] = None):
         self.spec = spec
+        self.telemetry_cfg = telemetry
         self.fabric = ShardFabric(spec.address_map())
         # Canonical rack order, not assignment order: host build order is
         # layout-invariant, so any shared module-level state (packet ids)
@@ -102,6 +112,30 @@ class Shard:
         self.hosts = OrderedDict((name, build_host(name, self.fabric, spec))
                                  for name in ordered)
         self.run_wall_s = 0.0
+        self.last_window_wall_s = 0.0
+        if telemetry is not None:
+            self._enable_telemetry(telemetry.validate())
+
+    def _enable_telemetry(self, cfg: RackTelemetry) -> None:
+        """Instrument every local host (observers only — no simulated effect).
+
+        Each host gets its own TraceBus (span + watchdog categories) and a
+        *host-scoped* span recorder, so context ids are globally unique and
+        the coordinator can merge marks across hosts.  Server hosts also get
+        the standard windowed-timeline wiring (gauges, residencies, invariant
+        watchdog) from their Testbed superclass; client hosts have no
+        counter groups worth sampling, so they only record spans.
+        """
+        for name, host in self.hosts.items():
+            sim = host.sim
+            if cfg.spans:
+                sim.trace_bus(categories=("span", "watchdog"),
+                              capacity=cfg.span_capacity)
+                sim.enable_spans(sample_every=cfg.sample_every, scope=name)
+            if cfg.timeline and isinstance(host, RackServerHost):
+                host.enable_timeline(window_ns=cfg.timeline_window_ns)
+            if cfg.profile:
+                sim.enable_profiling()
 
     # -------------------------------------------------------------- control
     def start(self) -> None:
@@ -128,8 +162,19 @@ class Shard:
         for host in self.hosts.values():
             host.sim.run_until(t_end)
         out = self.fabric.drain_outbox()
-        self.run_wall_s += perf_counter() - t0
+        self.last_window_wall_s = perf_counter() - t0
+        self.run_wall_s += self.last_window_wall_s
         return out
+
+    def window_stats(self) -> Dict[str, float]:
+        """The per-window record piggybacked on each barrier reply.
+
+        Cheap on purpose (two numbers): the coordinator derives per-window
+        compute wall, events, straggler attribution and lookahead
+        utilization from the deltas, without a second readout protocol.
+        """
+        return {"wall_s": self.last_window_wall_s,
+                "events": float(self.events_fired())}
 
     # -------------------------------------------------------------- readout
     def results(self) -> Dict[str, dict]:
@@ -139,3 +184,54 @@ class Shard:
     def events_fired(self) -> int:
         """Total events executed across this shard's hosts."""
         return sum(host.sim.events_fired for host in self.hosts.values())
+
+    def host_telemetry(self):
+        """Per-host telemetry bundles shipped to the coordinator at finish.
+
+        Plain picklable values only (the coordinator lives in another
+        process): span marks as tuples, timeline windows as dicts carrying
+        raw *deltas* (rates are recomputed after any merge), watchdog
+        verdicts, and profiler summaries.  Returns None when telemetry was
+        never enabled for this shard.
+        """
+        if self.telemetry_cfg is None:
+            return None
+        out: Dict[str, dict] = {}
+        for name, host in self.hosts.items():
+            sim = host.sim
+            bundle: Dict[str, object] = {}
+            sp = sim.obs.spans
+            if sp is not None:
+                bundle["span_marks"] = [
+                    (t, fields["ctx"], fields["point"],
+                     {k: v for k, v in fields.items() if k not in ("ctx", "point")})
+                    for t, fields in sim.trace.of_kind(SPAN_MARK_KIND)
+                ]
+                bundle["span_stats"] = {
+                    "requested": sp.requested,
+                    "allocated": sp.allocated,
+                    "marks_evicted": sim.trace.evicted,
+                    "point_counts": dict(sp.point_counts),
+                }
+            tl = sim.obs.timeline
+            if tl is not None:
+                tl.stop()
+                bundle["timeline"] = {
+                    "window_ns": tl.window_ns,
+                    "boundary_events": tl.boundary_events,
+                    "windows": [
+                        {"t_start": s.t_start, "t_end": s.t_end,
+                         "deltas": dict(s.deltas), "gauges": dict(s.gauges)}
+                        for s in tl.samples
+                    ],
+                }
+            wd = sim.obs.watchdog
+            if wd is not None:
+                bundle["watchdog"] = {
+                    "windows_checked": wd.windows_checked,
+                    "violations": [v.as_dict() for v in wd.violations],
+                }
+            if sim.obs.profiler is not None:
+                bundle["profile"] = sim.obs.profiler.summary(top=12)
+            out[name] = bundle
+        return out

@@ -29,10 +29,45 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import ClusterError
 from repro.units import us
 
-__all__ = ["RackSpec", "reduced_rack_spec"]
+__all__ = ["RackSpec", "RackTelemetry", "reduced_rack_spec"]
 
 #: applications the rack service model knows how to run
 RACK_APPLICATIONS = ("memcached", "apache")
+
+
+@dataclass(frozen=True)
+class RackTelemetry:
+    """Observability configuration for a sharded rack run.
+
+    Deliberately *not* part of :class:`RackSpec`: the spec describes the
+    simulated system (and is embedded in reports/digests), telemetry
+    describes how we watch it.  Everything here is observer-only — the
+    coordinator's ``simulated`` block is byte-identical with any
+    telemetry configuration, including none (asserted by the
+    determinism guard's rack leg).
+    """
+
+    #: per-request span contexts on every host (host-scoped ids)
+    spans: bool = True
+    #: deterministic span sampling: keep 1 of every N requests
+    sample_every: int = 1
+    #: windowed counter/gauge sampling + invariant watchdog (server hosts)
+    timeline: bool = True
+    timeline_window_ns: int = 100_000
+    #: run-loop event profiler on every host simulator
+    profile: bool = False
+    #: TraceBus ring capacity per host (marks retained for stitching)
+    span_capacity: int = 262144
+
+    def validate(self) -> "RackTelemetry":
+        """Raise :class:`ClusterError` on an unusable configuration."""
+        if self.sample_every < 1:
+            raise ClusterError("telemetry sample_every must be >= 1")
+        if self.timeline_window_ns <= 0:
+            raise ClusterError("telemetry timeline window must be positive")
+        if self.span_capacity < 1:
+            raise ClusterError("telemetry span capacity must be positive")
+        return self
 
 
 @dataclass(frozen=True)

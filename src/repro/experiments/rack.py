@@ -21,9 +21,15 @@ compatibility with the flow DAG.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
-from repro.cluster import RackSpec, reduced_rack_spec, run_rack_once, simulated_digest
+from repro.cluster import (
+    RackSpec,
+    RackTelemetry,
+    reduced_rack_spec,
+    run_rack_once,
+    simulated_digest,
+)
 from repro.metrics.report import format_table
 from repro.units import MS
 
@@ -56,16 +62,27 @@ def run_rack(
     seed: int = 3,
     warmup_ns: int = 2 * MS,
     measure_ns: int = 20 * MS,
+    telemetry: Optional[RackTelemetry] = None,
     jobs=None,          # noqa: ARG001 - flow-task signature compatibility
     cache=False,        # noqa: ARG001 - points are their own process fan-out
 ) -> Dict[Tuple[str, int], dict]:
-    """Run the rack grid; keys are ``(config, n_shards)``."""
+    """Run the rack grid; keys are ``(config, n_shards)``.
+
+    ``telemetry`` turns rack observability on for every cell (spans are
+    stitched, timelines aggregated, barriers profiled per run) — an
+    observer-only addition, so the per-config digest identity check is
+    unchanged by it.  ``True`` means the default :class:`RackTelemetry`
+    (convenient for task signatures that must stay plain values).
+    """
+    if telemetry is True:
+        telemetry = RackTelemetry()
     results: Dict[Tuple[str, int], dict] = {}
     for config in configs:
         spec = rack_spec(config=config, application=application, seed=seed)
         for n_shards in shard_counts:
             results[(config, n_shards)] = run_rack_once(
-                spec, n_shards, measure_ns, warmup_ns=warmup_ns
+                spec, n_shards, measure_ns, warmup_ns=warmup_ns,
+                telemetry=telemetry,
             )
     return results
 
@@ -102,10 +119,23 @@ def format_rack(results: Dict[Tuple[str, int], dict]) -> str:
             str(perf["messages_cross_shard"]),
             "yes" if identical[config] else "NO",
         ])
-    return format_table(
+    table = format_table(
         ["Config", "Shards", "ops/s", "vs base", "lat mean (us)",
          "lat p99 (us)", "agg ev/s", "barrier wait", "cross msgs", "identical"],
         rows,
         title="Rack: sharded multi-host simulation "
               "(fan-out clients -> ES2 server hosts)",
     )
+    # When the grid ran with telemetry, append the rack observability
+    # report for the most instrumented cell (last config, max shards).
+    telemetered = [(k, r) for k, r in results.items() if "telemetry" in r]
+    if telemetered:
+        from repro.obs.rack import format_rack_telemetry
+
+        (config, n_shards), report = max(telemetered, key=lambda kr: kr[0][1])
+        return (
+            table
+            + f"\n\nRack telemetry ({config}, {n_shards} shards)\n"
+            + format_rack_telemetry(report["telemetry"])
+        )
+    return table

@@ -77,7 +77,9 @@ _EXPERIMENTS = (
      dict(seed=3, duration_ns=int(0.8 * SEC)), schedzoo),
     ("rack", "Rack: sharded multi-host fan-out",
      rack.run_rack, rack.format_rack, (),
-     dict(seed=3, warmup_ns=2 * MS, measure_ns=20 * MS), rack),
+     # telemetry=True: rack observability (stitched spans, barrier
+     # profile) rides along; observer-only, the digest check still holds.
+     dict(seed=3, warmup_ns=2 * MS, measure_ns=20 * MS, telemetry=True), rack),
 )
 
 

@@ -62,7 +62,12 @@ __all__ = [
 #: shards: aggregate + per-shard events/sec, cross-shard message counts,
 #: barrier-wait fractions, the byte-identity verdict and the merged
 #: per-host counter snapshot.  Additive again: v4 paths are unchanged.
-BENCH_SCHEMA_VERSION = 5
+#: v6: the rack legs run with rack telemetry enabled (observer-only: the
+#: byte-identity verdict covers the instrumented runs) and the rack
+#: block gains ``telemetry`` — stitched cross-shard path counts/RTT and
+#: stage shares, rack-wide watchdog totals, and the barrier/straggler
+#: profile of the widest layout.  Additive: every v5 path is unchanged.
+BENCH_SCHEMA_VERSION = 6
 
 #: Default windows — identical to ``tests/test_bench_smoke.py``.
 DEFAULT_WARMUP_NS = 20 * MS
@@ -277,15 +282,23 @@ def _rack_block(seed: int, measure_ns: int,
     per key over hosts in sorted order); the ``simulated_identical``
     verdict asserts the byte-identity contract the determinism guard
     enforces on the raw digests.
+
+    Since v6 the legs run with rack telemetry enabled — observer-only,
+    so the digests stay comparable across shard counts *and* across
+    bench revisions that ran without it — and the block carries the
+    compact ``telemetry`` summary of the widest layout.
     """
-    from repro.cluster import run_rack_once, simulated_digest
+    from repro.cluster import RackTelemetry, run_rack_once, simulated_digest
     from repro.experiments.rack import rack_spec
 
     spec = rack_spec(config="PI+H+R", application="memcached", seed=seed)
     points: Dict[str, Any] = {}
     digests = []
+    last_report: Dict[str, Any] = {}
     for n_shards in RACK_SHARD_COUNTS:
-        report = run_rack_once(spec, n_shards, measure_ns, warmup_ns=warmup_ns)
+        report = run_rack_once(spec, n_shards, measure_ns, warmup_ns=warmup_ns,
+                               telemetry=RackTelemetry())
+        last_report = report
         digests.append(simulated_digest(report))
         totals = report["simulated"]["totals"]
         counters: Dict[str, int] = {}
@@ -326,6 +339,42 @@ def _rack_block(seed: int, measure_ns: int,
         "aggregate_speedup": last["aggregate_events_per_sec"] / base_rate
         if base_rate > 0 else 0.0,
         "points": points,
+        "telemetry": _rack_telemetry_summary(last_report),
+    }
+
+
+def _rack_telemetry_summary(report: Dict[str, Any]) -> Dict[str, Any]:
+    """The JSON-embeddable core of one rack report's telemetry block.
+
+    Keeps the trajectory-worthy aggregates (path counts and RTT, stage
+    shares, watchdog totals, barrier/straggler profile) and drops the
+    raw marks/windows — a bench document must stay diff-sized.
+    """
+    tel = report.get("telemetry")
+    if not tel:
+        return {}
+    paths = tel["paths"]
+    barrier = tel["barrier"]
+    return {
+        "paths": {
+            "counts": dict(paths["counts"]),
+            "rtt": dict(paths["rtt"]),
+            "cross_host": dict(paths["cross_host"]),
+            "stage_share": {name: s["share"]
+                            for name, s in paths["stages"].items()},
+        },
+        "watchdog": dict(tel["watchdog"]),
+        "barrier": {
+            "windows": barrier["windows"],
+            "straggler_shard": barrier["straggler_shard"],
+            "per_shard": [
+                {"shard": s["shard"],
+                 "bound_fraction": s["bound_fraction"],
+                 "lookahead_utilization": s["lookahead_utilization"],
+                 "window_wall_mean_us": s["window_wall_mean_us"]}
+                for s in barrier["per_shard"]
+            ],
+        },
     }
 
 
@@ -472,6 +521,18 @@ def format_bench(report: Dict[str, Any]) -> str:
             + ("identical across shard counts"
                if rack["simulated_identical"] else "DIVERGED across shard counts")
         )
+        tel = rack.get("telemetry")
+        if tel:
+            counts = tel["paths"]["counts"]
+            rtt = tel["paths"]["rtt"]
+            barrier = tel["barrier"]
+            lines.append(
+                f"  rack telemetry  {counts['complete']}/{counts['total']} "
+                f"stitched paths  rtt p50 {rtt['p50_us']:.0f} us  "
+                f"p99 {rtt['p99_us']:.0f} us  "
+                f"straggler shard {barrier['straggler_shard']}  "
+                f"watchdog {tel['watchdog']['violations']} violation(s)"
+            )
     violations = report.get("watchdog_violations")
     if violations is not None:
         lines.append(f"  watchdog {violations} violation(s) across timeline-checked points")

@@ -538,6 +538,63 @@ def _sched_section(report: Dict[str, Any]) -> str:
     return "<h2>Scheduler policies</h2>" + "".join(out)
 
 
+def _rack_telemetry_cards(rack: Dict[str, Any]) -> str:
+    """Schema v6 rack-observability cards (stitching + barrier profile)."""
+    tel = rack.get("telemetry")
+    if not tel:
+        return ""
+    out = []
+    paths = tel.get("paths", {})
+    shares = paths.get("stage_share", {})
+    if shares:
+        counts = paths.get("counts", {})
+        rtt = paths.get("rtt", {})
+        cross = paths.get("cross_host", {})
+        rows = "".join(
+            f"<tr><td>{_esc(name)}</td>"
+            f'<td class="num">{share:.1%}</td></tr>'
+            for name, share in shares.items()
+        )
+        out.append(
+            '<div class="card"><div class="chart-title">Stitched cross-shard '
+            "event paths</div>"
+            f'<div class="chart-unit">{counts.get("complete", 0):,} complete of '
+            f'{counts.get("total", 0):,} '
+            f'({cross.get("complete_multi_host", 0):,} multi-host, '
+            f'{cross.get("xshard_hops_mean", 0.0):.1f} fabric hops each); '
+            f'end-to-end p50 {rtt.get("p50_us", 0.0):.1f} µs, '
+            f'p99 {rtt.get("p99_us", 0.0):.1f} µs; stages telescope to RTT '
+            f'for {cross.get("telescoping_exact", 0):,} paths</div>'
+            "<table><tr><th>stage</th>"
+            '<th class="num">share of RTT</th></tr>' + rows + "</table></div>"
+        )
+    barrier = tel.get("barrier", {})
+    per_shard = barrier.get("per_shard", [])
+    if per_shard:
+        rows = "".join(
+            f'<tr><td class="num">{s["shard"]}</td>'
+            f'<td class="num">{s["bound_fraction"]:.0%}</td>'
+            f'<td class="num">{s["lookahead_utilization"]:.0%}</td>'
+            f'<td class="num">{s["window_wall_mean_us"]:.1f}</td></tr>'
+            for s in per_shard
+        )
+        wd = tel.get("watchdog", {})
+        out.append(
+            '<div class="card"><div class="chart-title">Barrier profile / '
+            "straggler attribution</div>"
+            f'<div class="chart-unit">{barrier.get("windows", 0):,} sync '
+            f'windows; straggler: shard {barrier.get("straggler_shard")}; '
+            f'rack watchdog {wd.get("violations", 0)} violation(s) over '
+            f'{wd.get("windows_checked", 0):,} checked windows</div>'
+            '<table><tr><th class="num">shard</th>'
+            '<th class="num">bounds window</th>'
+            '<th class="num">lookahead util</th>'
+            '<th class="num">window wall mean µs</th></tr>'
+            + rows + "</table></div>"
+        )
+    return "".join(out)
+
+
 def _rack_section(report: Dict[str, Any]) -> str:
     """Sharded-rack scaling panel (schema v5 ``rack`` block; additive)."""
     rack = report.get("rack")
@@ -593,6 +650,7 @@ def _rack_section(report: Dict[str, Any]) -> str:
         '<th class="num">events</th><th class="num">ev/s busy</th>'
         '<th class="num">barrier wait</th></tr>'
         + "".join(shard_rows) + "</table></div>"
+        + _rack_telemetry_cards(rack)
     )
 
 

@@ -28,6 +28,11 @@ Design rules
 Mark taxonomy (→ the paper's Fig. 1 event path)::
 
     origin         request created (guest task TX / external client TX)
+    xshard_tx      a rack uplink finished serializing the packet onto the
+                   cross-shard fabric (repro.cluster; may recur: request
+                   and reply each cross the fabric once)
+    xshard_rx      the fabric delivered the packet into the destination
+                   host's ingress queue (stamped arrival instant)
     tap_ingress    host NIC received the packet (bridge -> tap backlog)
     vhost_rx_pop   vhost RX handler picked it from the tap backlog
     rx_ring_push   copied into the guest RX ring
@@ -74,6 +79,8 @@ SPAN_MARK_KIND = "span-mark"
 #: Canonical milestone order along the full event path (Fig. 1).
 POINT_ORDER: Tuple[str, ...] = (
     "origin",
+    "xshard_tx",
+    "xshard_rx",
     "tap_ingress",
     "vhost_rx_pop",
     "rx_ring_push",
@@ -91,6 +98,8 @@ POINT_ORDER: Tuple[str, ...] = (
 
 #: Stage name for the latency accumulated *up to* each milestone.
 STAGE_OF_POINT: Dict[str, str] = {
+    "xshard_tx": "rack.uplink",
+    "xshard_rx": "rack.fabric",
     "tap_ingress": "link.request",
     "vhost_rx_pop": "vhost.backlog_wait",
     "rx_ring_push": "vhost.rx_copy",
@@ -135,7 +144,9 @@ class PathTrace:
 
     __slots__ = ("ctx", "marks")
 
-    def __init__(self, ctx: int, marks: Optional[List[Mark]] = None):
+    def __init__(self, ctx, marks: Optional[List[Mark]] = None):
+        # ``ctx`` is an int for single-host recorders, a "<scope>#<n>"
+        # string for scoped (rack) recorders.
         self.ctx = ctx
         self.marks: List[Mark] = marks if marks is not None else []
 
@@ -263,17 +274,24 @@ class SpanRecorder:
         counter, no RNG).  1 traces every request; raise it for high-rate
         streams so the ring holds a representative sample instead of the
         tail.
+    scope:
+        Optional context-id namespace.  ``None`` (the default) allocates
+        plain integer ids; a string makes ids ``"<scope>#<n>"`` so marks
+        recorded by *different* recorders (one per rack host) can be
+        merged without colliding — the basis of cross-shard stitching
+        (:mod:`repro.obs.rack`).
 
     The recorder never schedules events, never draws from simulation RNG
     streams and never mutates simulated state: with spans enabled, a
     fixed-seed run's results are byte-identical to a plain run.
     """
 
-    def __init__(self, bus, sample_every: int = 1):
+    def __init__(self, bus, sample_every: int = 1, scope: Optional[str] = None):
         if sample_every <= 0:
             raise ValueError("sample_every must be positive")
         self.bus = bus
         self.sample_every = sample_every
+        self.scope = scope
         #: total contexts requested (sampled or not)
         self.requested = 0
         #: contexts actually allocated (== traces started)
@@ -287,7 +305,7 @@ class SpanRecorder:
         self._irq_waiters: Dict[Tuple[int, int], Dict[int, set]] = {}
 
     # -------------------------------------------------------------- contexts
-    def new_context(self, t: int, kind: str, **attrs: Any) -> Optional[int]:
+    def new_context(self, t: int, kind: str, **attrs: Any):
         """Start a trace: allocate a context id and mark its origin.
 
         Returns None when the deterministic sampler skips this request;
@@ -297,7 +315,8 @@ class SpanRecorder:
         self.requested += 1
         if (self.requested - 1) % self.sample_every != 0:
             return None
-        ctx = self._next_ctx
+        ctx = (f"{self.scope}#{self._next_ctx}" if self.scope is not None
+               else self._next_ctx)
         self._next_ctx += 1
         self.allocated += 1
         counts = self.point_counts

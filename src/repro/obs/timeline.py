@@ -127,6 +127,11 @@ class TimelineSampler:
         self.samples: List[WindowSample] = []
         #: windows sampled (== len(samples) unless the caller trims)
         self.windows_sampled = 0
+        #: boundary events this sampler fired on the simulator's run loop.
+        #: These are the only events an observer adds, so readouts that
+        #: report ``sim.events_fired`` as a *simulated* metric (the rack
+        #: hosts) subtract this to stay byte-identical telemetry on/off.
+        self.boundary_events = 0
         self._gauges: Dict[str, Callable[[], float]] = {}
         self._cumulative: Dict[str, Callable[[int], float]] = {}
         self._listeners: List[Callable] = []
@@ -225,6 +230,7 @@ class TimelineSampler:
 
     def _on_boundary(self) -> None:
         self._pending = None
+        self.boundary_events += 1
         self._close_window(self.sim.now)
         if self.running:
             self._pending = self.sim.at(self.sim.now + self.window_ns,

@@ -162,6 +162,7 @@ class Simulator:
         sample_every: int = 1,
         capacity: int = 262144,
         categories: Optional[Iterable[str]] = None,
+        scope: Optional[str] = None,
     ) -> SpanRecorder:
         """Install per-request event-path span recording (``sim.obs.spans``).
 
@@ -169,12 +170,15 @@ class Simulator:
         already installed (an existing bus is kept, filters and all, so
         callers can combine spans with their own category selection).  The
         recorder is an observer only: fixed-seed results are byte-identical
-        with spans enabled or disabled.
+        with spans enabled or disabled.  ``scope`` namespaces context ids
+        (``"<scope>#<n>"``) so recorders on different rack hosts can be
+        merged for cross-shard stitching.
         """
         if not isinstance(self.trace, TraceBus):
             self.trace = TraceBus(categories=categories, capacity=capacity)
         if self.obs.spans is None:
-            self.obs.spans = SpanRecorder(self.trace, sample_every=sample_every)
+            self.obs.spans = SpanRecorder(self.trace, sample_every=sample_every,
+                                          scope=scope)
         return self.obs.spans
 
     def disable_spans(self) -> None:

@@ -40,10 +40,10 @@ class Request:
     """
 
     __slots__ = ("flow_id", "kind", "service_ns", "response_bytes", "created", "conn",
-                 "reply_to")
+                 "reply_to", "ctx")
 
     def __init__(self, flow_id, kind, service_ns, response_bytes, created, conn,
-                 reply_to=None):
+                 reply_to=None, ctx=None):
         self.flow_id = flow_id
         self.kind = kind
         self.service_ns = service_ns
@@ -51,6 +51,10 @@ class Request:
         self.created = created
         self.conn = conn
         self.reply_to = reply_to
+        #: span trace context inherited from the request packet; travels
+        #: through service and is re-attached to the *final* response
+        #: segment (the one that completes the client's operation)
+        self.ctx = ctx
 
 
 class ServerWorkerTask(GuestTask):
@@ -93,6 +97,7 @@ class ServerWorkerTask(GuestTask):
                 remaining -= chunk
                 wire = chunk + TCP_HEADER + ETHERNET_OVERHEAD
                 tx_cost = cost.guest_tcp_tx_ns + int(cost.guest_tx_per_byte_ns * wire)
+                final = remaining == 0
                 pkt = self.pool.acquire(
                     req.flow_id,
                     "resp",
@@ -100,7 +105,8 @@ class ServerWorkerTask(GuestTask):
                     dst=req.reply_to if req.reply_to is not None else self.reply_to,
                     seq=seq,
                     created=req.created,
-                    meta=(req.conn, remaining == 0),
+                    meta=(req.conn, final),
+                    ctx=req.ctx if final else None,
                 )
                 yield from self.netstack.xmit_from_task_ops(self, pkt, tx_cost)
                 seq += 1
@@ -129,6 +135,11 @@ class GuestServiceFlow:
         cost = self.netstack.cost
         yield GWork(cost.guest_napi_pkt_ns + int(cost.guest_rx_per_byte_ns * packet.size))
         self.requests_received += 1
+        if packet.ctx is not None:
+            sim = self.netstack.sim
+            sp = sim.obs.spans
+            if sp is not None:
+                sp.mark(sim.now, packet.ctx, "sock_deliver", flow=self.flow_id)
         service_ns, response_bytes = packet.meta
         request = Request(
             self.flow_id,
@@ -138,6 +149,7 @@ class GuestServiceFlow:
             packet.created,
             packet.seq,
             reply_to=self.reply_to,
+            ctx=packet.ctx,
         )
         # The request packet dies here; its object is reused by the worker
         # for a response on this flow.

@@ -105,12 +105,18 @@ def test_link_model_validation():
 
 
 def test_packet_codec_round_trip():
-    """encode/decode preserves every simulated field and drops the ctx."""
+    """encode/decode preserves every simulated field *and* the trace ctx.
+
+    The ctx crossing the wire is what lets the rack stitcher join the
+    sending and receiving hosts' span marks into one end-to-end trace
+    (DESIGN.md §18); ctx ids are plain host-scoped strings, so carrying
+    them never drags an object graph across the process boundary.
+    """
     pkt = Packet("flow", "req", 222, "h1.vm0", seq=7, acked=3,
                  created=123456, meta=(us(6), 1100))
-    pkt.ctx = object()
+    pkt.ctx = "c0#17"
     clone = decode_packet(encode_packet(pkt))
-    for field in ("flow", "kind", "size", "dst", "seq", "acked", "created", "meta"):
+    for field in ("flow", "kind", "size", "dst", "seq", "acked", "created",
+                  "meta", "ctx"):
         assert getattr(clone, field) == getattr(pkt, field)
-    assert clone.ctx is None
     assert clone.pid != pkt.pid
